@@ -1,0 +1,27 @@
+"""Benchmark configuration.
+
+``pytest benchmarks/ --benchmark-only`` regenerates every table and figure
+at the calibrated full scale (matching EXPERIMENTS.md). Set
+``REPRO_BENCH_QUICK=1`` to run the evaluation figures at smoke scale.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.common import RunScale
+
+
+@pytest.fixture(scope="session")
+def eval_scale() -> RunScale:
+    if os.environ.get("REPRO_BENCH_QUICK"):
+        return RunScale.quick()
+    return RunScale.full()
+
+
+@pytest.fixture(scope="session")
+def eval_matrix(eval_scale):
+    """The shared Figs. 10–13 evaluation matrix (built once per session)."""
+    from repro.experiments.evaluation import run_matrix
+
+    return run_matrix(eval_scale)

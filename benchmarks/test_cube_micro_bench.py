@@ -1,0 +1,100 @@
+"""Event-level HMC cube microbenchmarks.
+
+Protocol-level behaviours the flow model abstracts away: bank-conflict
+serialization, PIM RMW bank locking (Sec. II-B), and link-level FLIT
+throughput.
+"""
+
+import pytest
+
+from repro.hmc.config import HMC_2_0
+from repro.hmc.cube import HmcCube
+from repro.hmc.isa import PimInstruction, PimOpcode
+from repro.hmc.packet import PacketType, Request
+
+#: Address stride that stays in one (vault, bank) pair: one full pass of
+#: vault then bank interleaving.
+SAME_BANK_STRIDE = (
+    HMC_2_0.dram_access_granularity_bytes
+    * HMC_2_0.num_vaults
+    * HMC_2_0.banks_per_vault
+)
+
+
+def _run_reads(cube, addresses):
+    last = 0.0
+    for addr in addresses:
+        rsp = cube.submit(Request(PacketType.READ64, address=addr), 0.0)
+        last = max(last, rsp.complete_time_ns)
+    return last
+
+
+def test_bank_conflict_serialization(benchmark):
+    """Same-bank accesses serialize; spread accesses run in parallel."""
+
+    def scenario():
+        conflict_cube = HmcCube(HMC_2_0)
+        spread_cube = HmcCube(HMC_2_0)
+        n = 64
+        # Same bank, different rows: worst case (tRP+tRCD+tCL each).
+        t_conflict = _run_reads(
+            conflict_cube, [i * SAME_BANK_STRIDE * 64 for i in range(n)]
+        )
+        # Consecutive blocks: striped across vaults.
+        t_spread = _run_reads(
+            spread_cube, [i * 32 for i in range(n)]
+        )
+        return t_conflict, t_spread
+
+    t_conflict, t_spread = benchmark(scenario)
+    assert t_conflict > 3 * t_spread
+
+
+def test_pim_rmw_locks_bank(benchmark):
+    """A read behind a PIM RMW on the same bank waits for the full
+    read-modify-write (Sec. II-B atomicity)."""
+
+    def scenario():
+        cube = HmcCube(HMC_2_0)
+        inst = PimInstruction(PimOpcode.ADD_IMM, address=0, immediate=1)
+        pim_rsp = cube.submit(Request(PacketType.PIM, address=0, pim=inst), 0.0)
+        read_rsp = cube.submit(Request(PacketType.READ64, address=SAME_BANK_STRIDE), 0.0)
+        return pim_rsp, read_rsp
+
+    pim_rsp, read_rsp = benchmark(scenario)
+    assert read_rsp.complete_time_ns > pim_rsp.complete_time_ns
+
+
+def test_pim_cheaper_on_the_link_than_rmw(benchmark):
+    """One PIM op moves 3 FLITs; the host equivalent moves 12 (Table I)."""
+
+    def scenario():
+        pim_cube = HmcCube(HMC_2_0)
+        host_cube = HmcCube(HMC_2_0)
+        inst = PimInstruction(PimOpcode.ADD_IMM, address=0, immediate=1)
+        for i in range(32):
+            addr = i * 32
+            pim_cube.submit(
+                Request(PacketType.PIM, address=addr,
+                        pim=PimInstruction(PimOpcode.ADD_IMM, addr, 1)), 0.0
+            )
+            host_cube.submit(Request(PacketType.READ64, address=addr), 0.0)
+            host_cube.submit(
+                Request(PacketType.WRITE64, address=addr), 0.0, payload=b"\0" * 64
+            )
+        return pim_cube.links.total_flits(), host_cube.links.total_flits()
+
+    pim_flits, host_flits = benchmark(scenario)
+    assert pim_flits * 4 == host_flits  # 3 vs 12 FLITs per operation
+
+
+def test_cube_read_throughput(benchmark):
+    """Raw transaction throughput of the event-level model."""
+    cube = HmcCube(HMC_2_0)
+
+    def do_reads():
+        for i in range(256):
+            cube.submit(Request(PacketType.READ64, address=i * 32), 0.0)
+
+    benchmark(do_reads)
+    assert cube.stats.transactions >= 256

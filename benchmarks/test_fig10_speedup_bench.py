@@ -1,0 +1,49 @@
+"""Fig. 10: the headline speedup comparison.
+
+Regenerates the ten-benchmark × four-configuration speedup figure and
+checks the paper's qualitative claims:
+
+- CoolPIM beats naïve offloading wherever the thermal limit binds;
+- naïve offloading *degrades* the warp-centric BFS kernels below baseline;
+- ideal-thermal bounds everything and averages ~1.4×;
+- kcore/sssp-dtc are identical across naïve and CoolPIM.
+"""
+
+import pytest
+
+from repro.experiments import fig10_speedup
+
+
+def test_fig10_speedups(benchmark, eval_scale, eval_matrix):
+    result = benchmark.pedantic(
+        fig10_speedup.run, args=(eval_scale,), rounds=1, iterations=1
+    )
+    su = result.speedups
+
+    # Ideal thermal dominates and shows a healthy average gain.
+    assert result.geo_means["ideal-thermal"] > 1.25
+    for wl, per in su.items():
+        assert per["ideal-thermal"] >= max(
+            per["naive-offloading"], per["coolpim-sw"], per["coolpim-hw"]
+        ) - 1e-9
+
+    # Naive offloading hurts the thermally-hottest kernels (paper: -18/-16%).
+    assert su["bfs-dwc"]["naive-offloading"] < 1.0
+    assert su["bfs-twc"]["naive-offloading"] < 1.0
+
+    # CoolPIM recovers them (paper: up to 1.37x over naive).
+    best_vs_naive = result.best_coolpim_vs_naive()
+    assert best_vs_naive > 1.25
+
+    # CoolPIM average in the paper's +20%-class range.
+    assert max(result.geo_means["coolpim-sw"],
+               result.geo_means["coolpim-hw"]) > 1.15
+
+    # kcore and sssp-dtc: no thermal issue, throttling changes nothing.
+    for wl in ("kcore", "sssp-dtc"):
+        assert su[wl]["coolpim-sw"] == pytest.approx(
+            su[wl]["naive-offloading"], rel=0.05
+        )
+
+    print()
+    print(fig10_speedup.format_result(result))

@@ -1,0 +1,25 @@
+"""Fig. 11: normalized bandwidth consumption."""
+
+import pytest
+
+from repro.experiments import fig11_bandwidth_savings
+
+
+def test_fig11_bandwidth(benchmark, eval_scale, eval_matrix):
+    result = benchmark.pedantic(
+        fig11_bandwidth_savings.run, args=(eval_scale,), rounds=1, iterations=1
+    )
+    for wl, ratios in result.traffic_ratio.items():
+        # Offloading never adds link traffic.
+        assert ratios["naive-offloading"] <= 1.0 + 1e-9
+        # CoolPIM's partial offload saves at most as much as naive.
+        assert ratios["naive-offloading"] <= ratios["coolpim-sw"] + 0.02
+
+    # The paper's counterintuitive headline: the config with the largest
+    # bandwidth saving (naive, on bfs-dwc) is NOT the fastest one.
+    m = result.matrix
+    assert m.speedup("bfs-dwc", "naive-offloading") < m.speedup(
+        "bfs-dwc", "coolpim-sw"
+    )
+    print()
+    print(fig11_bandwidth_savings.format_result(result))

@@ -1,0 +1,26 @@
+"""Fig. 12: average PIM offloading rates."""
+
+from repro.experiments import fig12_pim_rate_avg
+
+
+def test_fig12_pim_rates(benchmark, eval_scale, eval_matrix):
+    result = benchmark.pedantic(
+        fig12_pim_rate_avg.run, args=(eval_scale,), rounds=1, iterations=1
+    )
+    rates = result.rates
+
+    # Warp-centric BFS kernels offload hardest under naive (paper: ~4;
+    # our rates average over the derated phases).
+    hot = max(rates["bfs-dwc"]["naive-offloading"],
+              rates["bfs-twc"]["naive-offloading"])
+    assert hot > 2.0
+
+    # kcore / sssp-dtc sit below the thermal threshold natively.
+    assert rates["kcore"]["naive-offloading"] < 1.5
+    assert rates["sssp-dtc"]["naive-offloading"] < 1.5
+
+    # CoolPIM keeps every benchmark near/below the 1.3 op/ns threshold.
+    assert result.coolpim_within_threshold(slack=0.4)
+
+    print()
+    print(fig12_pim_rate_avg.format_result(result))

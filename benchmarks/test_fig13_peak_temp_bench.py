@@ -1,0 +1,27 @@
+"""Fig. 13: peak DRAM temperature per benchmark."""
+
+from repro.experiments import fig13_peak_temp
+
+
+def test_fig13_peak_temps(benchmark, eval_scale, eval_matrix):
+    result = benchmark.pedantic(
+        fig13_peak_temp.run, args=(eval_scale,), rounds=1, iterations=1
+    )
+    temps = result.temps
+
+    # Naive exceeds 90 C on the hot benchmarks, ~95-96 C at worst.
+    assert result.hottest_naive() > 93.0
+    hot_count = sum(
+        1 for wl in temps if temps[wl]["naive-offloading"] > 90.0
+    )
+    assert hot_count >= 5  # "most benchmarks"
+
+    # CoolPIM keeps the cube at/near the 85 C normal-range boundary.
+    assert result.hottest_coolpim() < 92.0
+    for wl in temps:
+        sw = temps[wl]["coolpim-sw"]
+        assert sw <= temps[wl]["naive-offloading"] + 0.5
+        assert sw < 91.5
+
+    print()
+    print(fig13_peak_temp.format_result(result))

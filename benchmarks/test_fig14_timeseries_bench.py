@@ -1,0 +1,29 @@
+"""Fig. 14: PIM rate over time for bfs-ta under the three controls."""
+
+from repro.experiments import fig14_time_series
+
+
+def test_fig14_time_series(benchmark, eval_scale):
+    result = benchmark.pedantic(
+        fig14_time_series.run, kwargs={"scale": eval_scale},
+        rounds=1, iterations=1,
+    )
+    naive = result.series["naive-offloading"]
+
+    # Naive holds a high rate for the whole run.
+    naive_rates = [r for _t, r, _T in naive]
+    assert min(naive_rates[1:]) > 0.5
+
+    # Both CoolPIM variants end at a lower rate than naive's.
+    for policy in ("coolpim-sw", "coolpim-hw"):
+        series = result.series[policy]
+        assert series[-1][1] < naive_rates[-1] + 1e-9
+
+    # If the run heats to the threshold, the warning lands within a few ms
+    # of launch (Fig. 14: ~2.5 ms).
+    warn = result.first_warning_ms["naive-offloading"]
+    if warn is not None:
+        assert warn < 10.0
+
+    print()
+    print(fig14_time_series.format_result(result))

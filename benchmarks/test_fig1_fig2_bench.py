@@ -1,0 +1,22 @@
+"""Fig. 1/2: prototype thermal points and model validation."""
+
+from repro.experiments import fig1_prototype, fig2_validation
+
+
+def test_fig1_prototype(benchmark):
+    points = benchmark(fig1_prototype.run)
+    passive_busy = next(
+        p for p in points if p.cooling == "passive" and p.state == "busy"
+    )
+    assert passive_busy.shutdown
+    # Model tracks the thermal-camera readings.
+    assert all(abs(p.surface_c - p.paper_surface_c) < 7.0 for p in points)
+    print()
+    print(fig1_prototype.format_result(points))
+
+
+def test_fig2_validation(benchmark):
+    points = benchmark(fig2_validation.run)
+    assert all(abs(p.error_c) < 10.0 for p in points)
+    print()
+    print(fig2_validation.format_result(points))

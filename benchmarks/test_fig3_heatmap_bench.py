@@ -1,0 +1,15 @@
+"""Fig. 3: steady heat map at full bandwidth, commodity cooling."""
+
+from repro.experiments import fig3_heatmap
+
+
+def test_fig3_heatmap(benchmark):
+    result = benchmark(fig3_heatmap.run, sub=4)
+    peaks = {name: peak for name, peak, _ in result.layer_peaks}
+    # Logic layer and the adjacent DRAM die are the hottest (paper obs. 1).
+    assert peaks["logic"] == max(peaks.values())
+    assert peaks["dram0"] > peaks["dram7"]
+    # Hot spots at vault centres (paper obs. 2).
+    assert result.hotspot_is_vault_center
+    print()
+    print(fig3_heatmap.format_result(result))

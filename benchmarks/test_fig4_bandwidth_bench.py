@@ -1,0 +1,18 @@
+"""Fig. 4: peak DRAM temperature vs bandwidth × cooling."""
+
+import pytest
+
+from repro.experiments import fig4_bandwidth
+
+
+def test_fig4_bandwidth_sweep(benchmark):
+    sweep = benchmark(fig4_bandwidth.run)
+    commodity = sweep.curves["commodity"]
+    assert commodity[0] == pytest.approx(33.0, abs=0.5)
+    assert commodity[-1] == pytest.approx(81.0, abs=0.5)
+    # Weak sinks blow through the 105 C operating ceiling early.
+    assert sweep.ceiling_crossing_gbs["passive"] <= 240
+    assert sweep.ceiling_crossing_gbs["low-end"] <= 320
+    assert sweep.ceiling_crossing_gbs["high-end"] is None
+    print()
+    print(fig4_bandwidth.format_result(sweep))

@@ -1,0 +1,17 @@
+"""Fig. 5: peak DRAM temperature vs PIM offloading rate."""
+
+import pytest
+
+from repro.experiments import fig5_pim_rate
+
+
+def test_fig5_pim_rate_sweep(benchmark):
+    sweep = benchmark(fig5_pim_rate.run)
+    # 105 C ceiling at 6.5 op/ns (the paper's maximum offloading rate).
+    assert sweep.max_rate_limit == pytest.approx(6.5, abs=0.15)
+    # Staying in the normal range needs ~1 op/ns-class rates (paper: 1.3).
+    assert 0.9 < sweep.normal_rate_limit < 1.5
+    # Positive rate/temperature correlation across the sweep.
+    assert sweep.temps_c == sorted(sweep.temps_c)
+    print()
+    print(fig5_pim_rate.format_result(sweep))

@@ -1,0 +1,24 @@
+"""Tables I–IV: regeneration benches with content checks."""
+
+from repro.experiments import tables
+
+
+def test_table1_flits(benchmark):
+    rows = benchmark(tables.table1_rows)
+    assert ("64-byte READ", "1 FLITs", "5 FLITs") in rows
+
+
+def test_table2_cooling(benchmark):
+    rows = benchmark(tables.table2_rows)
+    names = {r[0] for r in rows}
+    assert names == {"passive", "low-end", "commodity", "high-end"}
+
+
+def test_table3_mapping(benchmark):
+    rows = benchmark(tables.table3_rows)
+    assert any("atomicCAS" in r[2] for r in rows)
+
+
+def test_table4_config(benchmark):
+    rows = benchmark(tables.table4_rows)
+    assert dict(rows)["HMC"].startswith("8 GB cube")

@@ -1,0 +1,32 @@
+"""Thermal solver performance: the co-simulation's inner loop."""
+
+import numpy as np
+
+from repro.thermal.model import HmcThermalModel
+from repro.thermal.power import TrafficPoint
+
+
+def test_steady_solve_speed(benchmark):
+    model = HmcThermalModel()
+    t = TrafficPoint.streaming(320.0)
+    temp = benchmark(model.steady_peak_dram_c, t)
+    assert 80.0 < temp < 82.0
+
+
+def test_transient_step_speed(benchmark):
+    """One 25 µs control-quantum step — executed hundreds of times per
+    simulated run; must stay well under a millisecond of wall time."""
+    model = HmcThermalModel()
+    model.warm_start(TrafficPoint.streaming(240.0))
+    t = TrafficPoint.pim_saturated(3.0)
+
+    result = benchmark(model.step, t, 25e-6)
+    assert np.isfinite(result)
+
+
+def test_network_build_speed(benchmark):
+    def build():
+        return HmcThermalModel(sub=2)
+
+    model = benchmark(build)
+    assert model.network.num_nodes > 0

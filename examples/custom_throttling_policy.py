@@ -1,0 +1,92 @@
+"""Writing a custom throttling policy.
+
+    python examples/custom_throttling_policy.py
+
+The policy interface (:class:`repro.core.policies.OffloadPolicy`) is the
+extension point for new source-throttling mechanisms: implement
+``pim_fraction`` and ``on_thermal_warning`` and the co-simulation does the
+rest. This example builds a proportional controller that modulates the
+offloading fraction continuously with the sensed temperature error — a
+what-if beyond the paper's step-wise SW/HW mechanisms — and races it
+against CoolPIM (HW) and naïve offloading on a thermally-intense workload.
+"""
+
+from repro.core import CoolPimSystem
+from repro.core.policies import OffloadPolicy
+from repro.graph import get_dataset
+from repro.workloads.dc import DegreeCentrality
+
+
+class ProportionalThrottle(OffloadPolicy):
+    """P-controller: fraction decreases linearly with the overshoot.
+
+    fraction = 1 - gain x max(0, T_sensed - T_target), clamped to
+    [floor, 1]. Unlike CoolPIM's down-only token/warp counters, this
+    policy recovers when the cube cools — at the cost of needing a tuned
+    gain (the kind of knob the paper's mechanisms avoid).
+    """
+
+    name = "proportional"
+
+    def __init__(self, target_c: float = 84.0, gain: float = 0.12,
+                 floor: float = 0.05) -> None:
+        super().__init__()
+        self.target_c = target_c
+        self.gain = gain
+        self.floor = floor
+        self._fraction = 1.0
+
+    def begin(self, launch, now_s: float = 0.0) -> None:
+        self._fraction = 1.0
+        self.record_fraction(now_s, 1.0)
+
+    def pim_fraction(self, now_s: float) -> float:
+        return self._fraction
+
+    def on_thermal_warning(self, now_s: float, temp_c=None) -> None:
+        if temp_c is None:
+            return
+        error = max(0.0, temp_c - self.target_c)
+        new = max(self.floor, min(1.0, 1.0 - self.gain * error))
+        if new != self._fraction:
+            self._fraction = new
+            self.record_fraction(now_s, new)
+
+
+def main() -> None:
+    graph = get_dataset("ldbc")
+    system = CoolPimSystem()
+
+    workload = DegreeCentrality()
+    workload.repeats = 48
+
+    contenders = {
+        "non-offloading": "non-offloading",
+        "naive-offloading": "naive-offloading",
+        "coolpim-hw": "coolpim-hw",
+        "proportional": ProportionalThrottle(),
+    }
+
+    results = {}
+    for label, policy in contenders.items():
+        results[label] = system.run(workload, graph, policy)
+
+    base = results["non-offloading"]
+    print(f"{'policy':18s} {'speedup':>8s} {'peak T (C)':>11s} "
+          f"{'offload %':>10s} {'PIM op/ns':>10s}")
+    for label, res in results.items():
+        print(
+            f"{label:18s} {res.speedup_over(base):8.2f} "
+            f"{res.peak_dram_temp_c:11.1f} {res.offload_fraction:10.0%} "
+            f"{res.avg_pim_rate_ops_ns:10.2f}"
+        )
+
+    print(
+        "\nThe P-controller tracks the 85 C boundary more tightly than the\n"
+        "step-wise mechanisms, but its gain needed hand-tuning - exactly\n"
+        "the engineering trade-off the paper's token/warp counters avoid."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Graph-analytics offloading study (the paper's Sec. V evaluation).
+
+    python examples/graph_analytics_offloading.py [--quick] [workloads...]
+
+Runs a set of GraphBIG benchmarks on the LDBC-like graph under all five
+configurations and prints a Fig. 10/12/13-style comparison at the
+calibrated scale of EXPERIMENTS.md (a few seconds per benchmark;
+``--quick`` runs a cold smoke-scale instead).
+"""
+
+import argparse
+import sys
+import time
+
+from repro.core import CoolPimSystem
+from repro.experiments.common import RunScale, scaled_workload
+from repro.graph import get_dataset
+from repro.workloads import list_workloads
+
+POLICIES = ["non-offloading", "naive-offloading", "coolpim-sw",
+            "coolpim-hw", "ideal-thermal"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("workloads", nargs="*",
+                        default=["dc", "bfs-dwc", "pagerank", "kcore"],
+                        help="benchmark names (default: a representative mix)")
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke-test scale (small graph; too short for "
+                             "thermal effects)")
+    args = parser.parse_args(argv)
+
+    unknown = [w for w in args.workloads if w not in list_workloads()]
+    if unknown:
+        print(f"unknown workloads {unknown}; available: {list_workloads()}")
+        return 2
+
+    scale = RunScale.quick() if args.quick else RunScale.full()
+    graph = get_dataset(scale.dataset)
+    system = CoolPimSystem()
+    print(f"graph: {graph}  (scale: {'quick' if args.quick else 'full'})")
+
+    header = f"{'benchmark':10s}" + "".join(f"{p:>18s}" for p in POLICIES)
+    print("\nSpeedup over non-offloading:")
+    print(header)
+    temp_rows = []
+    for name in args.workloads:
+        start = time.time()
+        workload = scaled_workload(name, scale)
+        results = system.run_all_policies(workload, graph)
+        base = results["non-offloading"]
+        sus = [results[p].speedup_over(base) for p in POLICIES]
+        print(f"{name:10s}" + "".join(f"{su:18.2f}" for su in sus)
+              + f"   [{time.time() - start:.1f} s]")
+        temp_rows.append(
+            (name, [results[p].peak_dram_temp_c for p in POLICIES])
+        )
+
+    print("\nPeak DRAM temperature (C):")
+    print(header)
+    for name, temps in temp_rows:
+        print(f"{name:10s}" + "".join(f"{t:18.1f}" for t in temps))
+
+    print(
+        "\nReading the table: naive offloading wins on paper-bandwidth but "
+        "overheats the cube\n(>85 C triggers DRAM derating); CoolPIM "
+        "throttles offloading at the source and\nkeeps the gains."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

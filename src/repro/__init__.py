@@ -1,0 +1,35 @@
+"""CoolPIM reproduction: thermal-aware source throttling for PIM offloading.
+
+A full-system Python model of the GPU + HMC 2.0 platform from
+*CoolPIM: Thermal-Aware Source Throttling for Efficient PIM Instruction
+Offloading* (IPDPS 2018), with the paper's evaluation regenerable end to
+end. Top-level entry points:
+
+>>> from repro import CoolPimSystem, get_dataset, get_workload
+>>> system = CoolPimSystem()
+>>> result = system.run(get_workload("pagerank"), get_dataset("ldbc-small"),
+...                     policy="coolpim-hw")
+
+Subpackages: :mod:`repro.hmc` (device models), :mod:`repro.thermal`
+(RC-network thermal model), :mod:`repro.gpu` (host + co-simulation),
+:mod:`repro.workloads` (GraphBIG kernels), :mod:`repro.graph` (CSR +
+generators), :mod:`repro.core` (CoolPIM policies),
+:mod:`repro.experiments` (table/figure regenerators).
+"""
+
+from repro.core.coolpim import CoolPimSystem
+from repro.core.policies import make_policy
+from repro.graph.datasets import get_dataset, list_datasets
+from repro.workloads.registry import get_workload, list_workloads
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoolPimSystem",
+    "__version__",
+    "get_dataset",
+    "get_workload",
+    "list_datasets",
+    "list_workloads",
+    "make_policy",
+]

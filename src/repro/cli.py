@@ -1,0 +1,143 @@
+"""Command-line interface.
+
+    python -m repro list
+    python -m repro run pagerank --policy coolpim-hw --dataset ldbc
+    python -m repro compare bfs-dwc
+    python -m repro experiments --only fig5,fig10
+
+``run`` simulates one (workload, policy) pair, ``compare`` runs the full
+policy matrix for one workload, and ``experiments`` delegates to
+:mod:`repro.experiments.runner`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.core.coolpim import CoolPimSystem
+from repro.core.policies import POLICY_NAMES
+from repro.graph.datasets import get_dataset, list_datasets
+from repro.thermal.cooling import COOLING_SOLUTIONS
+from repro.workloads.registry import get_workload, list_workloads
+
+
+def _build_system(args) -> CoolPimSystem:
+    return CoolPimSystem(cooling=COOLING_SOLUTIONS[args.cooling])
+
+
+def _result_line(res) -> str:
+    return (
+        f"  runtime        : {res.runtime_s * 1e3:.3f} ms\n"
+        f"  peak DRAM temp : {res.peak_dram_temp_c:.1f} C\n"
+        f"  PIM rate       : {res.avg_pim_rate_ops_ns:.2f} op/ns\n"
+        f"  offloaded      : {res.offload_fraction:.0%} of "
+        f"{res.total_atomics:,} atomics\n"
+        f"  link bandwidth : {res.avg_link_bandwidth_gbs:.0f} GB/s\n"
+        f"  energy         : {res.total_energy_j * 1e3:.1f} mJ "
+        f"({res.avg_power_w:.1f} W avg)\n"
+        f"  thermal events : {res.thermal_warnings} warnings, "
+        f"{res.shutdowns} shutdowns"
+    )
+
+
+def cmd_list(_args) -> int:
+    print("workloads:", ", ".join(list_workloads(include_extras=True)))
+    print("datasets: ", ", ".join(list_datasets()))
+    print("policies: ", ", ".join(POLICY_NAMES))
+    print("cooling:  ", ", ".join(COOLING_SOLUTIONS))
+    return 0
+
+
+def cmd_run(args) -> int:
+    system = _build_system(args)
+    graph = get_dataset(args.dataset)
+    workload = get_workload(args.workload, seed=args.seed)
+    res = system.run(workload, graph, args.policy)
+    if args.json:
+        import json
+
+        print(json.dumps(res.to_dict(), indent=2))
+        return 0
+    print(f"{args.workload} on {args.dataset} "
+          f"({graph.num_vertices:,} vertices, {graph.num_edges:,} edges) "
+          f"under {args.policy}, {args.cooling} cooling")
+    print(_result_line(res))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    system = _build_system(args)
+    graph = get_dataset(args.dataset)
+    workload = get_workload(args.workload, seed=args.seed)
+    print(f"{args.workload} on {args.dataset} under all policies "
+          f"({args.cooling} cooling)\n")
+    results = system.run_all_policies(workload, graph)
+    base = results["non-offloading"]
+    print(f"{'policy':18s} {'speedup':>8s} {'peak T':>7s} {'op/ns':>6s} "
+          f"{'energy':>7s}")
+    for name, res in results.items():
+        print(
+            f"{name:18s} {res.speedup_over(base):8.2f} "
+            f"{res.peak_dram_temp_c:6.1f}C {res.avg_pim_rate_ops_ns:6.2f} "
+            f"{res.energy_ratio(base):6.2f}x"
+        )
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from repro.experiments import runner
+
+    argv = []
+    if args.quick:
+        argv.append("--quick")
+    if args.only:
+        argv.extend(["--only", args.only])
+    return runner.main(argv)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="CoolPIM reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="available workloads/datasets/policies")
+
+    def common(p):
+        p.add_argument("workload", help="benchmark name (see `repro list`)")
+        p.add_argument("--dataset", default="ldbc")
+        p.add_argument("--cooling", default="commodity",
+                       choices=list(COOLING_SOLUTIONS))
+        p.add_argument("--seed", type=int, default=0)
+
+    run_p = sub.add_parser("run", help="simulate one workload+policy")
+    common(run_p)
+    run_p.add_argument("--policy", default="coolpim-hw",
+                       choices=POLICY_NAMES)
+    run_p.add_argument("--json", action="store_true",
+                       help="emit the result as JSON")
+
+    cmp_p = sub.add_parser("compare", help="run the full policy matrix")
+    common(cmp_p)
+
+    exp_p = sub.add_parser("experiments", help="regenerate tables/figures")
+    exp_p.add_argument("--quick", action="store_true")
+    exp_p.add_argument("--only", default=None)
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": cmd_list,
+        "run": cmd_run,
+        "compare": cmd_compare,
+        "experiments": cmd_experiments,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

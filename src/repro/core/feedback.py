@@ -1,0 +1,75 @@
+"""Closed-loop feedback delay model (Fig. 8).
+
+Source throttling does not reduce PIM intensity instantly, and the HMC's
+temperature responds even later:
+
+================  ================  ================
+Delay             Software-based    Hardware-based
+================  ================  ================
+Tthrottle         ~0.1 ms           ~0.1 µs
+Tthermal          ~1 ms             ~1 ms
+================  ================  ================
+
+The control granularity therefore cannot exceed Tthrottle + Tthermal per
+step; a controller that reacts faster than the loop delay over-reduces
+(Sec. IV-C "Delayed Control Updates").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class FeedbackDelays:
+    """Per-mechanism delay constants, in seconds."""
+
+    throttle_s: float
+    thermal_s: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.throttle_s < 0 or self.thermal_s < 0:
+            raise ValueError(f"delays cannot be negative: {self}")
+
+    @property
+    def control_step_s(self) -> float:
+        """Minimum useful interval between control actions."""
+        return self.throttle_s + self.thermal_s
+
+    @classmethod
+    def software(cls) -> "FeedbackDelays":
+        """SW-DynT: interrupt handling + waiting for in-flight blocks."""
+        return cls(throttle_s=0.1e-3)
+
+    @classmethod
+    def hardware(cls) -> "FeedbackDelays":
+        """HW-DynT: PCU update takes tens of cycles."""
+        return cls(throttle_s=0.1e-6)
+
+
+class DelayLine:
+    """Delivers events after a fixed delay (in-order).
+
+    Models the path from the HMC raising ERRSTAT to the throttle actually
+    taking effect at the source.
+    """
+
+    def __init__(self, delay_s: float) -> None:
+        if delay_s < 0:
+            raise ValueError(f"delay cannot be negative: {delay_s}")
+        self.delay_s = delay_s
+        self._pending: List[Tuple[float, object]] = []
+
+    def push(self, now_s: float, event: object) -> None:
+        """Enqueue an event observed at ``now_s``."""
+        self._pending.append((now_s + self.delay_s, event))
+
+    def pop_ready(self, now_s: float) -> List[object]:
+        """Events whose delay has elapsed by ``now_s``."""
+        ready = [e for t, e in self._pending if t <= now_s]
+        self._pending = [(t, e) for t, e in self._pending if t > now_s]
+        return ready
+
+    def __len__(self) -> int:
+        return len(self._pending)

@@ -1,0 +1,83 @@
+"""Static PTP initialization — Eq. (1) of the paper.
+
+    PIMRate = PIMPeakRate × PIMIntensity × (PTP_Size / MaxBlk#)
+              × (1 − Ratio_DivergentWarp)
+
+Inverting for the pool size that keeps the estimated offloading rate at or
+below the thermal threshold (1.3 op/ns for 85 °C with commodity cooling,
+Fig. 5), plus a small margin because the feedback loop only down-tunes:
+
+    PTP_Initial = PTP_Calculated + margin          (margin = 4 blocks)
+
+``PIMPeakRate`` and ``MaxBlk#`` are hardware-dependent (measured with a
+trial run or taken from the spec); ``PIMIntensity`` comes from compile-
+time static analysis; the divergent-warp ratio is estimated from
+algorithm knowledge (topology-driven kernels high, warp-centric low).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.gpu.config import GPU_DEFAULT, GpuConfig
+from repro.gpu.kernel import KernelLaunch
+
+#: Thermal PIM-rate threshold for 85 °C at full bandwidth with a
+#: commodity-server heat sink (Fig. 5).
+PIM_RATE_THRESHOLD_OPS_NS = 1.3
+
+#: Default hardware peak PIM issue rate (op/ns) — the rate if every
+#: memory operation were a PIM op at peak bandwidth (320 GB/s over 32 B
+#: round-trip FLIT cost). Refined by a trial run when available.
+PIM_PEAK_RATE_DEFAULT = 10.0
+
+#: Eq. (1) margin, in thread blocks.
+PTP_MARGIN_BLOCKS = 4
+
+
+@dataclass(frozen=True)
+class PtpInitializer:
+    """Computes the initial PTP size for a kernel launch."""
+
+    pim_peak_rate_ops_ns: float = PIM_PEAK_RATE_DEFAULT
+    rate_threshold_ops_ns: float = PIM_RATE_THRESHOLD_OPS_NS
+    margin_blocks: int = PTP_MARGIN_BLOCKS
+    gpu: GpuConfig = GPU_DEFAULT
+
+    def __post_init__(self) -> None:
+        if self.pim_peak_rate_ops_ns <= 0:
+            raise ValueError(f"peak rate must be positive: {self.pim_peak_rate_ops_ns}")
+        if self.rate_threshold_ops_ns <= 0:
+            raise ValueError(f"threshold must be positive: {self.rate_threshold_ops_ns}")
+        if self.margin_blocks < 0:
+            raise ValueError(f"margin cannot be negative: {self.margin_blocks}")
+
+    def estimated_rate(self, ptp_size: int, intensity: float, divergence: float) -> float:
+        """Forward Eq. (1): estimated PIM rate for a pool size."""
+        max_blk = self.gpu.max_concurrent_blocks
+        share = min(1.0, ptp_size / max_blk) if max_blk else 0.0
+        return (
+            self.pim_peak_rate_ops_ns * intensity * share * (1.0 - divergence)
+        )
+
+    def calculated_size(self, intensity: float, divergence: float) -> int:
+        """Pool size whose estimated rate equals the threshold."""
+        if not 0.0 <= intensity <= 1.0:
+            raise ValueError(f"intensity must be in [0,1]: {intensity}")
+        if not 0.0 <= divergence <= 1.0:
+            raise ValueError(f"divergence must be in [0,1]: {divergence}")
+        max_blk = self.gpu.max_concurrent_blocks
+        denom = self.pim_peak_rate_ops_ns * intensity * (1.0 - divergence)
+        if denom <= 0.0:
+            # No offloadable work (or fully divergent) — no constraint.
+            return max_blk
+        size = math.floor(self.rate_threshold_ops_ns / denom * max_blk)
+        return min(size, max_blk)
+
+    def initial_size(self, launch: KernelLaunch) -> int:
+        """PTP_Initial = PTP_Calculated + margin, clamped to MaxBlk#."""
+        size = self.calculated_size(
+            launch.pim_intensity(), launch.divergent_warp_ratio()
+        )
+        return min(size + self.margin_blocks, self.gpu.max_concurrent_blocks)

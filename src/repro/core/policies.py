@@ -1,0 +1,134 @@
+"""Offloading policies evaluated in Sec. V.
+
+A policy answers one question each control step: *what fraction of the
+kernel's offloadable atomics issue as PIM instructions right now?* The
+four configurations of the paper:
+
+- :class:`NonOffloading` — baseline; every atomic runs on the host.
+- :class:`NaiveOffloading` — PEI-style [2]; everything offloads, no
+  thermal control.
+- CoolPIM SW/HW — :mod:`repro.core.sw_dynt` / :mod:`repro.core.hw_dynt`.
+- :class:`IdealThermal` — full offloading with unlimited cooling.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.gpu.kernel import KernelLaunch
+
+
+class OffloadPolicy:
+    """Base policy: full offloading, no reaction to warnings."""
+
+    #: Display name used in result tables.
+    name: str = "policy"
+    #: Ideal-thermal flag: the simulator skips derating/warnings entirely.
+    thermal_exempt: bool = False
+
+    def __init__(self) -> None:
+        self.fraction_history: List[Tuple[float, float]] = []
+
+    def begin(self, launch: KernelLaunch, now_s: float = 0.0) -> None:
+        """Called once when the kernel launches."""
+
+    def pim_fraction(self, now_s: float) -> float:
+        """Share of atomics offloaded at time ``now_s`` (0..1)."""
+        return 1.0
+
+    def on_thermal_warning(self, now_s: float, temp_c: Optional[float] = None) -> None:
+        """Called when a thermal-warning response reaches the host.
+
+        ``temp_c`` is the sensed peak DRAM temperature when available
+        (HW-DynT uses it for severity scaling and settling detection;
+        SW-DynT only sees the warning bit).
+        """
+
+    def record_fraction(self, now_s: float, fraction: float) -> None:
+        self.fraction_history.append((now_s, fraction))
+
+
+class NonOffloading(OffloadPolicy):
+    """Baseline: HMC as plain GPU memory, no PIM."""
+
+    name = "non-offloading"
+
+    def pim_fraction(self, now_s: float) -> float:
+        return 0.0
+
+
+class NaiveOffloading(OffloadPolicy):
+    """PEI-style offloading of every PIM-capable atomic, no throttling.
+
+    The HMC still derates/warns — this policy simply ignores it, which is
+    what produces the Fig. 10 slowdowns on hot workloads.
+    """
+
+    name = "naive-offloading"
+
+    def pim_fraction(self, now_s: float) -> float:
+        return 1.0
+
+
+class StaticFraction(OffloadPolicy):
+    """Fixed offloading fraction, no feedback — an open-loop ablation
+    point between non-offloading (0.0) and naïve offloading (1.0)."""
+
+    name = "static-fraction"
+
+    def __init__(self, fraction: float) -> None:
+        super().__init__()
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0,1], got {fraction}")
+        self.fraction = fraction
+        self.name = f"static-{fraction:.2f}"
+
+    def pim_fraction(self, now_s: float) -> float:
+        return self.fraction
+
+
+class IdealThermal(OffloadPolicy):
+    """Unlimited cooling: full offloading with the HMC pinned cold.
+
+    An unrealizable upper bound (Sec. V-B: the required cooling power and
+    space are impractical); used to size the headroom CoolPIM captures.
+    """
+
+    name = "ideal-thermal"
+    thermal_exempt = True
+
+    def pim_fraction(self, now_s: float) -> float:
+        return 1.0
+
+
+def make_policy(name: str, **kwargs) -> OffloadPolicy:
+    """Factory by configuration name used in experiment harnesses.
+
+    Accepts: ``non-offloading``, ``naive-offloading``, ``coolpim-sw``,
+    ``coolpim-hw``, ``ideal-thermal``.
+    """
+    from repro.core.hw_dynt import HwDynT
+    from repro.core.sw_dynt import SwDynT
+
+    table = {
+        "non-offloading": NonOffloading,
+        "naive-offloading": NaiveOffloading,
+        "coolpim-sw": SwDynT,
+        "coolpim-hw": HwDynT,
+        "ideal-thermal": IdealThermal,
+    }
+    try:
+        cls = table[name]
+    except KeyError:
+        raise KeyError(f"unknown policy {name!r}; available: {sorted(table)}") from None
+    return cls(**kwargs)
+
+
+#: Evaluation order used by the figures.
+POLICY_NAMES = [
+    "non-offloading",
+    "naive-offloading",
+    "coolpim-sw",
+    "coolpim-hw",
+    "ideal-thermal",
+]

@@ -1,0 +1,61 @@
+"""Shared experiment utilities: table formatting and run configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width ASCII table (numbers rendered to 3 significant places)."""
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3g}" if abs(cell) < 1000 else f"{cell:.0f}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class RunScale:
+    """Evaluation scale: 'full' matches the calibrated figure runs; 'quick'
+    shrinks the graph and query counts for CI-speed smoke runs."""
+
+    dataset: str
+    workload_scale: float  # multiplier on query/iteration counts
+
+    @classmethod
+    def full(cls) -> "RunScale":
+        return cls(dataset="ldbc", workload_scale=1.0)
+
+    @classmethod
+    def quick(cls) -> "RunScale":
+        return cls(dataset="ldbc-small", workload_scale=0.25)
+
+
+def scaled_workload(name: str, scale: RunScale, seed: int = 0):
+    """Instantiate a benchmark with its run length scaled."""
+    from repro.workloads import get_workload
+
+    w = get_workload(name, seed=seed)
+    if scale.workload_scale != 1.0:
+        for attr in ("num_sources", "repeats", "iterations"):
+            if hasattr(w, attr):
+                value = getattr(w, attr)
+                setattr(w, attr, max(1, int(round(value * scale.workload_scale))))
+    return w

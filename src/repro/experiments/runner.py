@@ -1,0 +1,109 @@
+"""Run every experiment and print the paper-style outputs.
+
+Usage::
+
+    python -m repro.experiments.runner [--quick]
+
+``--quick`` shrinks the evaluation graph and query counts (CI-scale).
+EXPERIMENTS.md records one full run of this script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    energy,
+    fig1_prototype,
+    fig2_validation,
+    fig3_heatmap,
+    fig4_bandwidth,
+    fig5_pim_rate,
+    fig8_delays,
+    fig10_speedup,
+    fig11_bandwidth_savings,
+    fig12_pim_rate_avg,
+    fig13_peak_temp,
+    cooling_sweep,
+    fig14_time_series,
+    hotspot,
+    management,
+    sensitivity,
+    tables,
+)
+from repro.experiments.common import RunScale
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small graph / short runs (smoke-test scale)",
+    )
+    parser.add_argument(
+        "--only", default=None,
+        help="comma-separated experiment ids (e.g. 'fig5,fig10,tables')",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="also write each experiment's output to DIR/<id>.txt",
+    )
+    args = parser.parse_args(argv)
+    scale = RunScale.quick() if args.quick else RunScale.full()
+
+    experiments = {
+        "tables": lambda: tables.all_tables(),
+        "fig1": lambda: fig1_prototype.format_result(fig1_prototype.run()),
+        "fig2": lambda: fig2_validation.format_result(fig2_validation.run()),
+        "fig3": lambda: fig3_heatmap.format_result(fig3_heatmap.run()),
+        "fig4": lambda: fig4_bandwidth.format_result(fig4_bandwidth.run()),
+        "fig5": lambda: fig5_pim_rate.format_result(fig5_pim_rate.run()),
+        "fig8": lambda: fig8_delays.format_result(fig8_delays.run(scale=scale)),
+        "fig10": lambda: fig10_speedup.format_result(fig10_speedup.run(scale)),
+        "fig11": lambda: fig11_bandwidth_savings.format_result(
+            fig11_bandwidth_savings.run(scale)),
+        "fig12": lambda: fig12_pim_rate_avg.format_result(
+            fig12_pim_rate_avg.run(scale)),
+        "fig13": lambda: fig13_peak_temp.format_result(fig13_peak_temp.run(scale)),
+        "fig14": lambda: fig14_time_series.format_result(
+            fig14_time_series.run(scale=scale)),
+        # Extensions beyond the paper's figures (DESIGN.md §6):
+        "energy": lambda: energy.format_result(energy.run(scale)),
+        "management": lambda: management.format_result(
+            management.run(scale=scale)),
+        "sensitivity": lambda: sensitivity.format_result(
+            sensitivity.run(scale=scale)),
+        "hotspot": lambda: hotspot.format_result(hotspot.run()),
+        "cooling-sweep": lambda: cooling_sweep.format_result(
+            cooling_sweep.run(scale=scale)),
+    }
+    selected = (
+        [e.strip() for e in args.only.split(",")] if args.only else list(experiments)
+    )
+    unknown = [e for e in selected if e not in experiments]
+    if unknown:
+        print(f"unknown experiments: {unknown}; available: {list(experiments)}")
+        return 2
+
+    out_dir = None
+    if args.out:
+        import pathlib
+
+        out_dir = pathlib.Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    for name in selected:
+        start = time.time()
+        print(f"\n{'=' * 72}\n== {name}\n{'=' * 72}")
+        text = experiments[name]()
+        print(text)
+        print(f"[{name} took {time.time() - start:.1f} s]")
+        if out_dir is not None:
+            (out_dir / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,74 @@
+"""GPU configuration (Table IV).
+
+Host GPU per the paper's evaluation: 16 PTX SMs, 32 threads per warp,
+1.4 GHz, 16 KB private L1D per SM, 1 MB 16-way shared L2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GpuConfig:
+    """Host GPU geometry and clocks."""
+
+    num_sms: int = 16
+    threads_per_warp: int = 32
+    freq_ghz: float = 1.4
+    l1d_kb: int = 16
+    l2_kb: int = 1024
+    l2_ways: int = 16
+    max_warps_per_sm: int = 48
+    max_blocks_per_sm: int = 8
+    threads_per_block: int = 256
+    #: Per-SM issue throughput in warp-instructions per cycle.
+    issue_width: int = 2
+    #: Aggregate host-atomic throughput (ops/ns) at the L2 ROP units.
+    #: Same-address atomics serialize there; on power-law graphs (hub
+    #: contention) the sustained rate is well below the link bandwidth,
+    #: which is why offloading atomics to PIM relieves a real bottleneck
+    #: even before any bandwidth is saved.
+    host_atomic_ops_per_ns: float = 0.8
+
+    def __post_init__(self) -> None:
+        if min(self.num_sms, self.threads_per_warp, self.max_warps_per_sm,
+               self.max_blocks_per_sm, self.threads_per_block,
+               self.issue_width) <= 0:
+            raise ValueError(f"GPU geometry must be positive: {self}")
+        if self.freq_ghz <= 0:
+            raise ValueError(f"frequency must be positive: {self.freq_ghz}")
+        if self.host_atomic_ops_per_ns <= 0:
+            raise ValueError(
+                f"atomic throughput must be positive: {self.host_atomic_ops_per_ns}"
+            )
+        if self.threads_per_block % self.threads_per_warp != 0:
+            raise ValueError(
+                f"block size {self.threads_per_block} must be a multiple of "
+                f"warp size {self.threads_per_warp}"
+            )
+
+    @property
+    def warps_per_block(self) -> int:
+        return self.threads_per_block // self.threads_per_warp
+
+    @property
+    def max_concurrent_blocks(self) -> int:
+        """Blocks resident across the GPU (MaxBlk# of Eq. (1))."""
+        per_sm = min(
+            self.max_blocks_per_sm, self.max_warps_per_sm // self.warps_per_block
+        )
+        return per_sm * self.num_sms
+
+    @property
+    def max_concurrent_warps(self) -> int:
+        return self.max_concurrent_blocks * self.warps_per_block
+
+    @property
+    def peak_warp_instructions_per_ns(self) -> float:
+        """Aggregate issue rate, warp-instructions per ns."""
+        return self.num_sms * self.issue_width * self.freq_ghz
+
+
+#: Table IV configuration.
+GPU_DEFAULT = GpuConfig()

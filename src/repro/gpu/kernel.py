@@ -1,0 +1,70 @@
+"""Kernel launch descriptions.
+
+A :class:`KernelLaunch` binds a workload's epoch trace to GPU launch
+geometry plus the static properties CoolPIM's Eq. (1) initialization needs
+(PIM intensity, divergent-warp ratio). The GPU compiler's PIM/non-PIM dual
+code generation (Sec. IV-B) is represented by the fact that every epoch
+can execute with any ``pim_fraction`` — the shadow non-PIM code maps each
+PIM instruction back to a CUDA atomic (Table III).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.gpu.config import GpuConfig
+from repro.sim.trace import OpBatch, TraceCursor
+
+
+@dataclass
+class KernelLaunch:
+    """One GPU kernel launch driven by an epoch trace.
+
+    Attributes
+    ----------
+    name:
+        Workload/kernel identifier.
+    trace:
+        Epoch trace (replayable).
+    total_threads:
+        Threads across the whole launch (grid size × block size).
+    """
+
+    name: str
+    trace: TraceCursor
+    total_threads: int
+    config: GpuConfig = field(default_factory=GpuConfig)
+
+    def __post_init__(self) -> None:
+        if self.total_threads <= 0:
+            raise ValueError(f"total_threads must be positive: {self.total_threads}")
+
+    @property
+    def num_blocks(self) -> int:
+        return math.ceil(self.total_threads / self.config.threads_per_block)
+
+    @property
+    def num_warps(self) -> int:
+        return math.ceil(self.total_threads / self.config.threads_per_warp)
+
+    # -- static analysis (compile-time inputs to Eq. (1)) ----------------------
+
+    def totals(self) -> OpBatch:
+        return self.trace.totals()
+
+    def pim_intensity(self) -> float:
+        """Fraction of memory operations that are offloadable atomics.
+
+        Computable at compile time from the kernel's instruction mix
+        (Sec. IV-B: "we can compute the PIM instruction intensity in the
+        compilation stage").
+        """
+        t = self.totals()
+        if t.total_ops == 0:
+            return 0.0
+        return t.atomics / t.total_ops
+
+    def divergent_warp_ratio(self) -> float:
+        """Trace-wide thread-weighted divergence (Eq. (1) input)."""
+        return self.totals().divergent_warp_ratio

@@ -1,0 +1,105 @@
+"""Discrete GPU-runtime semantics: thread-block manager + interrupts.
+
+The fluid co-simulation (:mod:`repro.gpu.simulator`) models offloading
+intensity as a fraction; this module models the *discrete* runtime
+behaviour of SW-DynT (Fig. 7) — individual CUDA blocks requesting PIM
+tokens at launch, running the PIM or shadow non-PIM kernel entry point,
+and returning tokens at completion — so protocol-level tests can check
+the exact FCFS token semantics the paper describes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.token_pool import PimTokenPool
+from repro.gpu.config import GPU_DEFAULT, GpuConfig
+
+
+class CodeVersion(enum.Enum):
+    """Which kernel entry point a block was launched with."""
+
+    PIM = "pim"            # original kernel, atomics offloaded
+    NON_PIM = "non-pim"    # shadow kernel (cuda_kernel_np), host atomics
+
+
+@dataclass
+class BlockRecord:
+    block_id: int
+    version: CodeVersion
+    launched_at: float
+    completed_at: Optional[float] = None
+
+
+@dataclass
+class ThreadBlockManager:
+    """Launches blocks against a PIM token pool (FCFS).
+
+    Mirrors Fig. 7: the manager requests a token before each launch; on
+    success the block uses the PIM entry point, otherwise the shadow
+    non-PIM entry point. Tokens return at block completion.
+    """
+
+    pool: PimTokenPool
+    gpu: GpuConfig = GPU_DEFAULT
+    _next_id: int = field(default=0, init=False)
+    _in_flight: Dict[int, BlockRecord] = field(default_factory=dict, init=False)
+    log: List[BlockRecord] = field(default_factory=list, init=False)
+
+    def launch_block(self, now_s: float = 0.0) -> BlockRecord:
+        """Launch the next block; the pool decides its code version."""
+        version = CodeVersion.PIM if self.pool.request() else CodeVersion.NON_PIM
+        rec = BlockRecord(self._next_id, version, launched_at=now_s)
+        self._next_id += 1
+        self._in_flight[rec.block_id] = rec
+        self.log.append(rec)
+        return rec
+
+    def complete_block(self, block_id: int, now_s: float = 0.0) -> None:
+        """Block finished; PIM blocks return their token."""
+        rec = self._in_flight.pop(block_id, None)
+        if rec is None:
+            raise KeyError(f"block {block_id} is not in flight")
+        rec.completed_at = now_s
+        if rec.version is CodeVersion.PIM:
+            self.pool.release()
+
+    @property
+    def in_flight_pim_blocks(self) -> int:
+        return sum(
+            1 for r in self._in_flight.values() if r.version is CodeVersion.PIM
+        )
+
+    @property
+    def in_flight_blocks(self) -> int:
+        return len(self._in_flight)
+
+
+@dataclass
+class GpuRuntime:
+    """Host-side runtime: block manager + thermal interrupt handler.
+
+    Receiving a thermal-warning response triggers a thermal interrupt; the
+    handler reduces the PTP by the control factor (Sec. IV-B). The actual
+    rate limiting/delay modelling lives in :class:`repro.core.sw_dynt.SwDynT`;
+    this class provides the discrete mechanism.
+    """
+
+    manager: ThreadBlockManager
+    control_factor: int = 8
+    interrupts_handled: int = field(default=0, init=False)
+
+    def on_response_errstat(self, errstat: int, now_s: float = 0.0) -> bool:
+        """Inspect a response's ERRSTAT; handle thermal interrupts.
+
+        Returns True when a thermal interrupt fired.
+        """
+        from repro.hmc.packet import ERRSTAT_THERMAL_WARNING
+
+        if errstat != ERRSTAT_THERMAL_WARNING:
+            return False
+        self.interrupts_handled += 1
+        self.manager.pool.reduce(self.control_factor, now_s)
+        return True

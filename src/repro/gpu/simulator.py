@@ -1,0 +1,384 @@
+"""Full-system co-simulation: GPU + HMC flow model + thermal + policy.
+
+The simulator drains each workload epoch as a fluid: every control quantum
+(default 25 µs) it asks the policy for the current PIM offloading
+fraction, splits the epoch's remaining atomics between host execution and
+PIM packets, computes the served share from the HMC flow model's
+bottleneck analysis, integrates the thermal RC network with the interval's
+traffic-driven power, updates the temperature phase (DRAM derating), and
+delivers thermal warnings to the policy — closing CoolPIM's feedback loop
+(Fig. 6).
+
+Timescales follow the paper: DRAM phases derate service by 20 % per phase
+above 85 °C, the sensor samples at 100 µs, Tthrottle/Tthermal delays live
+inside the policies, and shutdown (>105 °C) costs a tens-of-seconds
+recovery stall (Sec. III-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+if TYPE_CHECKING:  # avoid a circular import; policies live in repro.core
+    from repro.core.policies import OffloadPolicy
+
+from repro.gpu.caches import CacheModel, MemoryTraffic
+from repro.gpu.config import GPU_DEFAULT, GpuConfig
+from repro.gpu.kernel import KernelLaunch
+from repro.gpu.sm import SmArray
+from repro.hmc.config import HMC_2_0, HmcConfig
+from repro.hmc.dram_timing import TemperaturePhase
+from repro.hmc.flow import HmcFlowModel, TrafficDemand
+from repro.sim.trace import OpBatch
+from repro.thermal.model import HmcThermalModel
+from repro.thermal.power import TrafficPoint
+from repro.thermal.sensor import ThermalSensor
+
+#: Shutdown recovery stall (s): the prototype needs tens of seconds to
+#: re-enable after an overheat stop, and loses its contents (Sec. III-A).
+SHUTDOWN_RECOVERY_S = 20.0
+
+
+@dataclass
+class SimulationResult:
+    """Aggregates of one (workload, policy) run."""
+
+    workload: str
+    policy: str
+    runtime_s: float
+    link_bytes: int
+    data_bytes: int
+    pim_ops: int
+    host_atomics: int
+    total_atomics: int
+    peak_dram_temp_c: float
+    thermal_warnings: int
+    shutdowns: int
+    phase_time_s: dict
+    #: Package energy over the run (J), including hot-phase DRAM penalty.
+    package_energy_j: float = 0.0
+    #: Heat-sink fan energy over the run (J).
+    fan_energy_j: float = 0.0
+    #: (time_s, peak_temp_c, pim_rate_ops_ns, pim_fraction) samples.
+    timeline: List[Tuple[float, float, float, float]] = field(default_factory=list)
+
+    @property
+    def total_energy_j(self) -> float:
+        """Package + cooling energy (J) — the efficiency metric PIM is
+        meant to improve."""
+        return self.package_energy_j + self.fan_energy_j
+
+    @property
+    def avg_power_w(self) -> float:
+        return self.total_energy_j / self.runtime_s if self.runtime_s > 0 else 0.0
+
+    def energy_ratio(self, baseline: "SimulationResult") -> float:
+        """Total energy normalized to ``baseline``."""
+        return (
+            self.total_energy_j / baseline.total_energy_j
+            if baseline.total_energy_j > 0
+            else 0.0
+        )
+
+    @property
+    def avg_link_bandwidth_gbs(self) -> float:
+        return self.link_bytes / self.runtime_s / 1e9 if self.runtime_s > 0 else 0.0
+
+    @property
+    def avg_pim_rate_ops_ns(self) -> float:
+        """Average PIM offloading rate over the run (Fig. 12 metric)."""
+        return self.pim_ops / (self.runtime_s * 1e9) if self.runtime_s > 0 else 0.0
+
+    @property
+    def offload_fraction(self) -> float:
+        return self.pim_ops / self.total_atomics if self.total_atomics else 0.0
+
+    def speedup_over(self, baseline: "SimulationResult") -> float:
+        """Speedup of this run relative to ``baseline`` (Fig. 10 metric)."""
+        if self.runtime_s <= 0:
+            raise ValueError("runtime must be positive for a speedup")
+        return baseline.runtime_s / self.runtime_s
+
+    def bandwidth_ratio(self, baseline: "SimulationResult") -> float:
+        """Link-traffic bandwidth normalized to ``baseline`` (Fig. 11)."""
+        base = baseline.avg_link_bandwidth_gbs
+        return self.avg_link_bandwidth_gbs / base if base > 0 else 0.0
+
+    def to_dict(self, include_timeline: bool = False) -> dict:
+        """JSON-serializable summary of the run."""
+        out = {
+            "workload": self.workload,
+            "policy": self.policy,
+            "runtime_s": self.runtime_s,
+            "link_bytes": self.link_bytes,
+            "data_bytes": self.data_bytes,
+            "pim_ops": self.pim_ops,
+            "host_atomics": self.host_atomics,
+            "total_atomics": self.total_atomics,
+            "offload_fraction": self.offload_fraction,
+            "avg_pim_rate_ops_ns": self.avg_pim_rate_ops_ns,
+            "avg_link_bandwidth_gbs": self.avg_link_bandwidth_gbs,
+            "peak_dram_temp_c": self.peak_dram_temp_c,
+            "thermal_warnings": self.thermal_warnings,
+            "shutdowns": self.shutdowns,
+            "phase_time_s": dict(self.phase_time_s),
+            "package_energy_j": self.package_energy_j,
+            "fan_energy_j": self.fan_energy_j,
+            "total_energy_j": self.total_energy_j,
+            "avg_power_w": self.avg_power_w,
+        }
+        if include_timeline:
+            out["timeline"] = [list(p) for p in self.timeline]
+        return out
+
+
+class _EpochState:
+    """Mutable fluid remainder of one epoch."""
+
+    def __init__(self, batch: OpBatch, traffic: MemoryTraffic) -> None:
+        self.reads = float(traffic.reads)
+        self.writes = float(traffic.writes)
+        self.atomics = float(traffic.atomics)
+        self.atomics_ret = float(traffic.atomics_with_return)
+        self.compute_cycles = float(batch.compute_cycles)
+        self.divergence = batch.divergent_warp_ratio
+        self.threads = batch.threads
+
+    @property
+    def drained(self) -> bool:
+        return (
+            self.reads < 0.5
+            and self.writes < 0.5
+            and self.atomics < 0.5
+            and self.compute_cycles < 1.0
+        )
+
+    def as_batch(self) -> OpBatch:
+        return OpBatch(
+            reads=int(self.reads),
+            writes=int(self.writes),
+            atomics=int(self.atomics),
+            atomics_with_return=min(int(self.atomics_ret), int(self.atomics)),
+            compute_cycles=int(self.compute_cycles),
+            threads=self.threads,
+            divergent_warp_ratio=self.divergence,
+        )
+
+    def drain(self, fraction: float) -> None:
+        keep = 1.0 - fraction
+        self.reads *= keep
+        self.writes *= keep
+        self.atomics *= keep
+        self.atomics_ret *= keep
+        self.compute_cycles *= keep
+
+
+class SystemSimulator:
+    """Co-simulation engine for one GPU + one HMC 2.0 cube."""
+
+    def __init__(
+        self,
+        gpu: GpuConfig = GPU_DEFAULT,
+        hmc_config: HmcConfig = HMC_2_0,
+        cache: Optional[CacheModel] = None,
+        flow: Optional[HmcFlowModel] = None,
+        thermal: Optional[HmcThermalModel] = None,
+        sensor: Optional[ThermalSensor] = None,
+        control_dt_s: float = 25e-6,
+        timeline_dt_s: float = 250e-6,
+        warm_start: Optional[TrafficPoint] = None,
+        saturation_threads: int = 1500,
+    ) -> None:
+        if control_dt_s <= 0:
+            raise ValueError(f"control quantum must be positive: {control_dt_s}")
+        if saturation_threads <= 0:
+            raise ValueError(
+                f"saturation_threads must be positive: {saturation_threads}"
+            )
+        self.gpu = gpu
+        self.hmc_config = hmc_config
+        self.cache = cache or CacheModel(gpu)
+        self.flow = flow or HmcFlowModel(hmc_config)
+        self.thermal = thermal or HmcThermalModel(hmc_config)
+        self.sensor = sensor or ThermalSensor()
+        self.sm = SmArray(gpu)
+        self.control_dt_s = control_dt_s
+        self.timeline_dt_s = timeline_dt_s
+        #: Concurrent memory streams needed to saturate the memory system
+        #: (peak bandwidth x memory latency / line size ~ 1500 in-flight
+        #: 64 B requests): epochs with smaller frontiers achieve
+        #: proportionally less bandwidth. This is what keeps
+        #: small-frontier graphs (road networks) thermally benign.
+        self.saturation_threads = saturation_threads
+        # The evaluation measures kernels from a query stream on a busy
+        # device, not a cold one: warm-start at a moderately-loaded steady
+        # point (Fig. 14's thermal warning lands ~2.5 ms into the run).
+        self.warm_start = warm_start or TrafficPoint.streaming(240.0)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _mem_demand(self, state: _EpochState, pim_fraction: float) -> TrafficDemand:
+        traffic = MemoryTraffic(
+            reads=max(0, int(round(state.reads))),
+            writes=max(0, int(round(state.writes))),
+            atomics=max(0, int(round(state.atomics))),
+            atomics_with_return=min(
+                int(round(state.atomics_ret)), int(round(state.atomics))
+            ),
+        )
+        return self.cache.demand(traffic, pim_fraction)
+
+    # -- main entry -----------------------------------------------------------------
+
+    def run(self, launch: KernelLaunch, policy: "OffloadPolicy") -> SimulationResult:
+        """Execute the launch under ``policy``; returns run aggregates."""
+        launch.trace.rewind()
+        self.sensor.reset()
+        exempt = policy.thermal_exempt
+
+        # Device state before the kernel launches (ideal-thermal runs pin
+        # the cube at ambient, so no warm-up is needed).
+        if not exempt:
+            self.thermal.warm_start(self.warm_start)
+        self.flow.phase = TemperaturePhase.NORMAL
+        self.flow.set_thermal_warning(False)
+
+        policy.begin(launch, now_s=0.0)
+
+        now_s = 0.0
+        link_bytes = 0
+        data_bytes = 0
+        pim_ops_total = 0
+        host_atomics_total = 0
+        atomics_total = 0
+        warnings = 0
+        shutdowns = 0
+        peak_temp = (
+            self.thermal.peak_dram_c() if not exempt else self.thermal.ambient_c
+        )
+        phase_time = {p.name: 0.0 for p in TemperaturePhase}
+        timeline: List[Tuple[float, float, float, float]] = []
+        next_sample = 0.0
+        thermal_debt_s = 0.0
+        package_energy_j = 0.0
+        fan_power_w = (
+            self.thermal.cooling.fan_power_w() if not exempt else 0.0
+        )
+
+        while True:
+            batch = launch.trace.next()
+            if batch is None:
+                break
+            atomics_total += batch.atomics
+            state = _EpochState(batch, self.cache.filter(batch))
+
+            while not state.drained:
+                fraction = policy.pim_fraction(now_s)
+                demand = self._mem_demand(state, fraction)
+                t_mem_ns = self.flow.service_time_ns(demand)
+                # Small frontiers can't keep enough requests in flight to
+                # saturate the memory system.
+                mlp = min(1.0, state.threads / self.saturation_threads)
+                if mlp > 0.0:
+                    t_mem_ns /= mlp
+                t_cmp_ns = self.sm.compute_time_ns(state.as_batch())
+                # Host-executed atomics serialize at the L2 ROP units.
+                t_atm_ns = demand.host_atomics / self.gpu.host_atomic_ops_per_ns
+                t_total_ns = max(t_mem_ns, t_cmp_ns, t_atm_ns, 1.0)
+
+                dt_ns = min(self.control_dt_s * 1e9, t_total_ns)
+                share = dt_ns / t_total_ns
+                served = TrafficDemand(
+                    reads=int(round(demand.reads * share)),
+                    writes=int(round(demand.writes * share)),
+                    host_atomics=int(round(demand.host_atomics * share)),
+                    pim_ops=int(round(demand.pim_ops * share)),
+                    pim_ops_ret=int(round(demand.pim_ops_ret * share)),
+                )
+                state.drain(share)
+
+                # Thermal integration with this interval's traffic power.
+                # Steps run on the fixed control quantum (one cached LU);
+                # sub-quantum intervals accumulate as debt and are flushed
+                # with the current traffic point — at most one quantum of
+                # lag versus the 100 µs sensor period.
+                ext_gbs, int_gbs, pim_rate = self.flow.traffic_rates(served, dt_ns)
+                if not exempt:
+                    traffic_point = TrafficPoint(
+                        external_gbs=ext_gbs,
+                        internal_dram_gbs=int_gbs,
+                        pim_rate_ops_ns=pim_rate,
+                    )
+                    thermal_debt_s += dt_ns * 1e-9
+                    temp_c = self.thermal.peak_dram_c()
+                    energy_scale = self.flow.policy.dram_energy_scale(self.flow.phase)
+                    while thermal_debt_s >= self.control_dt_s:
+                        temp_c = self.thermal.step(
+                            traffic_point,
+                            self.control_dt_s,
+                            dram_energy_scale=energy_scale,
+                        )
+                        thermal_debt_s -= self.control_dt_s
+                    peak_temp = max(peak_temp, temp_c)
+                    phase = self.flow.update_phase(temp_c)
+                    warning = self.sensor.observe(temp_c, now_s)
+                    self.flow.set_thermal_warning(warning)
+                    if warning:
+                        warnings += 1
+                        policy.on_thermal_warning(now_s, self.sensor.last_temp_c)
+                    if phase is TemperaturePhase.SHUTDOWN:
+                        # Conservative overheat policy: full stop, long
+                        # recovery, restart cold (Sec. III-A).
+                        shutdowns += 1
+                        now_s += SHUTDOWN_RECOVERY_S
+                        phase_time[TemperaturePhase.SHUTDOWN.name] += (
+                            SHUTDOWN_RECOVERY_S
+                        )
+                        self.thermal.warm_start(TrafficPoint.idle())
+                        self.flow.phase = TemperaturePhase.NORMAL
+                        self.sensor.reset()
+                        self.flow.set_thermal_warning(False)
+                else:
+                    phase = TemperaturePhase.NORMAL
+                    temp_c = self.thermal.ambient_c
+                    traffic_point = TrafficPoint(
+                        external_gbs=ext_gbs,
+                        internal_dram_gbs=int_gbs,
+                        pim_rate_ops_ns=pim_rate,
+                    )
+                    energy_scale = 1.0
+
+                package_energy_j += (
+                    self.thermal.power.package_total_w(traffic_point, energy_scale)
+                    * dt_ns * 1e-9
+                )
+                self.flow.record(served, dt_ns)
+                link_bytes += served.link_bytes()
+                data_bytes += served.external_data_bytes()
+                pim_ops_total += served.total_pim
+                host_atomics_total += served.host_atomics
+                phase_time[phase.name] += dt_ns * 1e-9
+                now_s += dt_ns * 1e-9
+
+                if now_s >= next_sample:
+                    timeline.append((now_s, temp_c, pim_rate, fraction))
+                    next_sample = now_s + self.timeline_dt_s
+
+        return SimulationResult(
+            workload=launch.name,
+            policy=policy.name,
+            runtime_s=now_s,
+            link_bytes=link_bytes,
+            data_bytes=data_bytes,
+            pim_ops=pim_ops_total,
+            host_atomics=host_atomics_total,
+            total_atomics=atomics_total,
+            peak_dram_temp_c=peak_temp,
+            thermal_warnings=warnings,
+            shutdowns=shutdowns,
+            phase_time_s=phase_time,
+            package_energy_j=package_energy_j,
+            fan_energy_j=fan_power_w * now_s,
+            timeline=timeline,
+        )

@@ -1,0 +1,28 @@
+"""Graph substrate: CSR graphs, synthetic generators, and named datasets.
+
+The paper evaluates GraphBIG workloads on the LDBC social-network dataset.
+LDBC data is not redistributable here, so :mod:`repro.graph.generators`
+builds synthetic graphs with the properties the evaluation depends on
+(power-law degree skew, small diameter, weighted edges), and
+:mod:`repro.graph.datasets` registers the named instances used by the
+experiment harness.
+"""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import get_dataset, list_datasets
+from repro.graph.generators import (
+    erdos_renyi_graph,
+    grid_graph,
+    ldbc_like_graph,
+    rmat_graph,
+)
+
+__all__ = [
+    "CSRGraph",
+    "erdos_renyi_graph",
+    "get_dataset",
+    "grid_graph",
+    "ldbc_like_graph",
+    "list_datasets",
+    "rmat_graph",
+]

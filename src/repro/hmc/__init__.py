@@ -1,0 +1,54 @@
+"""Hybrid Memory Cube (HMC) device models.
+
+Two models of the same device, per DESIGN.md §2:
+
+- :class:`~repro.hmc.cube.HmcCube` — an event-level simulator with vaults,
+  DRAM banks (tCL/tRCD/tRP/tRAS state machines), per-vault PIM functional
+  units with atomic read-modify-write bank locking, a crossbar, and
+  FLIT-accounted serial links. Used for microbenchmarks and protocol-level
+  tests.
+- :class:`~repro.hmc.flow.HmcFlowModel` — a fast flow-level model (effective
+  bandwidth, FLIT accounting, temperature-phase derating) used by the
+  full-system co-simulation in :mod:`repro.gpu.simulator`.
+
+Shared pieces: :mod:`~repro.hmc.config` (HMC 1.1/2.0 geometry and timing),
+:mod:`~repro.hmc.packet` (Table I FLIT costs and ERRSTAT thermal warnings),
+:mod:`~repro.hmc.isa` (the HMC 2.0 PIM instruction set plus the GraphPIM
+floating-point extensions), and :mod:`~repro.hmc.dram_timing`
+(temperature-phase frequency/refresh derating).
+"""
+
+from repro.hmc.config import HMC_1_1, HMC_2_0, HmcConfig
+from repro.hmc.cube import HmcCube
+from repro.hmc.dram_timing import TemperaturePhase, TemperaturePhasePolicy
+from repro.hmc.flow import HmcFlowModel
+from repro.hmc.isa import PimInstruction, PimOpClass, PimOpcode
+from repro.hmc.packet import (
+    ERRSTAT_OK,
+    ERRSTAT_THERMAL_WARNING,
+    FLIT_BYTES,
+    PacketType,
+    Request,
+    Response,
+    flit_cost,
+)
+
+__all__ = [
+    "ERRSTAT_OK",
+    "ERRSTAT_THERMAL_WARNING",
+    "FLIT_BYTES",
+    "HMC_1_1",
+    "HMC_2_0",
+    "HmcConfig",
+    "HmcCube",
+    "HmcFlowModel",
+    "PacketType",
+    "PimInstruction",
+    "PimOpClass",
+    "PimOpcode",
+    "Request",
+    "Response",
+    "TemperaturePhase",
+    "TemperaturePhasePolicy",
+    "flit_cost",
+]

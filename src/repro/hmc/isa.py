@@ -1,0 +1,189 @@
+"""PIM instruction set (HMC 2.0 atomics + GraphPIM extensions).
+
+HMC 2.0 PIM instructions are atomic read-modify-write operations with one
+memory operand and one immediate, executed by the functional unit in the
+vault's logic layer (Sec. II-B). Classes: arithmetic, bitwise, boolean,
+comparison. GraphPIM [23] adds floating-point arithmetic; CoolPIM's
+evaluation uses those for pagerank/sssp, so they are included here.
+
+Table III of the paper maps each class to a CUDA atomic; that mapping
+lives in :mod:`repro.core.translation` and is keyed by these opcodes.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+
+class PimOpClass(enum.Enum):
+    """Instruction classes from the HMC 2.0 spec (Sec. II-B)."""
+
+    ARITHMETIC = "arithmetic"
+    BITWISE = "bitwise"
+    BOOLEAN = "boolean"
+    COMPARISON = "comparison"
+    FLOATING = "floating"  # GraphPIM extension
+
+
+class PimOpcode(enum.Enum):
+    """Concrete PIM opcodes.
+
+    ``*_RET`` variants return the original data with the response
+    (2 response FLITs instead of 1, Table I).
+    """
+
+    ADD_IMM = "add-imm"                 # signed add
+    ADD_IMM_RET = "add-imm-ret"
+    SWAP = "swap"                       # bitwise swap (exchange)
+    BIT_WRITE = "bit-write"             # masked bit write
+    AND_IMM = "and-imm"
+    OR_IMM = "or-imm"
+    CAS_EQUAL = "cas-equal"             # compare-and-swap if equal
+    CAS_GREATER = "cas-greater"         # swap if immediate greater (atomicMax)
+    CAS_LESS = "cas-less"               # swap if immediate less (atomicMin)
+    FP_ADD_IMM = "fp-add-imm"           # GraphPIM float extension
+    FP_MIN = "fp-min"
+
+
+#: Opcode → (class, has_return) metadata.
+OPCODE_INFO: Dict[PimOpcode, Tuple[PimOpClass, bool]] = {
+    PimOpcode.ADD_IMM: (PimOpClass.ARITHMETIC, False),
+    PimOpcode.ADD_IMM_RET: (PimOpClass.ARITHMETIC, True),
+    PimOpcode.SWAP: (PimOpClass.BITWISE, True),
+    PimOpcode.BIT_WRITE: (PimOpClass.BITWISE, False),
+    PimOpcode.AND_IMM: (PimOpClass.BOOLEAN, False),
+    PimOpcode.OR_IMM: (PimOpClass.BOOLEAN, False),
+    PimOpcode.CAS_EQUAL: (PimOpClass.COMPARISON, True),
+    PimOpcode.CAS_GREATER: (PimOpClass.COMPARISON, True),
+    PimOpcode.CAS_LESS: (PimOpClass.COMPARISON, True),
+    PimOpcode.FP_ADD_IMM: (PimOpClass.FLOATING, False),
+    PimOpcode.FP_MIN: (PimOpClass.FLOATING, True),
+}
+
+
+@dataclass(frozen=True)
+class PimInstruction:
+    """A PIM request payload: one memory operand + one immediate.
+
+    Attributes
+    ----------
+    opcode:
+        Which atomic operation to perform.
+    address:
+        Byte address of the memory operand (16-byte aligned region holds
+        the operand; the FU is 128 bits wide).
+    immediate:
+        The immediate value (int for integer ops, float for FP ops).
+    operand_bytes:
+        Width of the memory operand (4 or 8).
+    """
+
+    opcode: PimOpcode
+    address: int
+    immediate: float
+    operand_bytes: int = 4
+    compare: float = 0.0  # CAS-equal compare value (16 B payload carries both)
+
+    def __post_init__(self) -> None:
+        if self.operand_bytes not in (4, 8):
+            raise ValueError(f"operand width must be 4 or 8, got {self.operand_bytes}")
+        if self.address < 0:
+            raise ValueError(f"negative address: {self.address}")
+
+    @property
+    def op_class(self) -> PimOpClass:
+        return OPCODE_INFO[self.opcode][0]
+
+    @property
+    def has_return(self) -> bool:
+        return OPCODE_INFO[self.opcode][1]
+
+
+def _int_wrap(value: int, nbytes: int) -> int:
+    """Wrap to two's-complement signed range of the operand width."""
+    bits = nbytes * 8
+    mask = (1 << bits) - 1
+    v = value & mask
+    if v >= 1 << (bits - 1):
+        v -= 1 << bits
+    return v
+
+
+# Semantics: (old_value, inst) -> (new_value, atomic_flag).
+# atomic_flag mirrors the HMC response field indicating whether the
+# conditional operation succeeded.
+_SEMANTICS: Dict[PimOpcode, Callable[[float, "PimInstruction"], Tuple[float, bool]]] = {
+    PimOpcode.ADD_IMM: lambda old, i: (
+        _int_wrap(int(old) + int(i.immediate), i.operand_bytes), True
+    ),
+    PimOpcode.ADD_IMM_RET: lambda old, i: (
+        _int_wrap(int(old) + int(i.immediate), i.operand_bytes), True
+    ),
+    PimOpcode.SWAP: lambda old, i: (_int_wrap(int(i.immediate), i.operand_bytes), True),
+    PimOpcode.BIT_WRITE: lambda old, i: (
+        _int_wrap(int(old) | int(i.immediate), i.operand_bytes), True
+    ),
+    PimOpcode.AND_IMM: lambda old, i: (
+        _int_wrap(int(old) & int(i.immediate), i.operand_bytes), True
+    ),
+    PimOpcode.OR_IMM: lambda old, i: (
+        _int_wrap(int(old) | int(i.immediate), i.operand_bytes), True
+    ),
+    PimOpcode.CAS_EQUAL: lambda old, i: (
+        (_int_wrap(int(i.immediate), i.operand_bytes), True)
+        if int(old) == int(i.compare)
+        else (int(old), False)
+    ),
+    PimOpcode.CAS_GREATER: lambda old, i: (
+        (_int_wrap(int(i.immediate), i.operand_bytes), True)
+        if int(i.immediate) > int(old)
+        else (int(old), False)
+    ),
+    PimOpcode.CAS_LESS: lambda old, i: (
+        (_int_wrap(int(i.immediate), i.operand_bytes), True)
+        if int(i.immediate) < int(old)
+        else (int(old), False)
+    ),
+    PimOpcode.FP_ADD_IMM: lambda old, i: (old + i.immediate, True),
+    PimOpcode.FP_MIN: lambda old, i: (
+        (i.immediate, True) if i.immediate < old else (old, False)
+    ),
+}
+
+
+def execute_semantics(old_value: float, inst: "PimInstruction") -> Tuple[float, bool]:
+    """Pure functional semantics of one PIM op.
+
+    Returns ``(new_value, atomic_flag)``. Integer ops wrap at the operand
+    width (two's complement), matching hardware behaviour.
+    """
+    try:
+        fn = _SEMANTICS[inst.opcode]
+    except KeyError:
+        raise ValueError(f"no semantics registered for {inst.opcode}") from None
+    return fn(old_value, inst)
+
+
+def is_float_op(opcode: PimOpcode) -> bool:
+    return OPCODE_INFO[opcode][0] is PimOpClass.FLOATING
+
+
+def encode_operand(value: float, opcode: PimOpcode, nbytes: int) -> bytes:
+    """Pack an operand value as raw little-endian bytes."""
+    if is_float_op(opcode):
+        return struct.pack("<d" if nbytes == 8 else "<f", float(value))
+    fmt = "<q" if nbytes == 8 else "<i"
+    return struct.pack(fmt, _int_wrap(int(value), nbytes))
+
+
+def decode_operand(raw: bytes, opcode: PimOpcode, nbytes: int) -> float:
+    """Unpack raw little-endian bytes into an operand value."""
+    if len(raw) != nbytes:
+        raise ValueError(f"expected {nbytes} bytes, got {len(raw)}")
+    if is_float_op(opcode):
+        return struct.unpack("<d" if nbytes == 8 else "<f", raw)[0]
+    fmt = "<q" if nbytes == 8 else "<i"
+    return struct.unpack(fmt, raw)[0]

@@ -1,0 +1,65 @@
+"""Frequency-aware clock/cycle arithmetic.
+
+The paper's models mix units: GPU cycles at 1.4 GHz, DRAM timing in ns, and
+thermal transients in ms. :class:`Clock` centralizes the conversions and
+supports runtime frequency derating (the 20 % DRAM frequency reduction per
+temperature phase, Table IV).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class Clock:
+    """Converts between cycles and nanoseconds at a mutable frequency.
+
+    Parameters
+    ----------
+    freq_ghz:
+        Nominal clock frequency in GHz.
+    """
+
+    def __init__(self, freq_ghz: float) -> None:
+        if freq_ghz <= 0:
+            raise ValueError(f"frequency must be positive, got {freq_ghz}")
+        self._nominal_ghz = freq_ghz
+        self._scale = 1.0
+
+    @property
+    def nominal_ghz(self) -> float:
+        """Frequency without derating, in GHz."""
+        return self._nominal_ghz
+
+    @property
+    def effective_ghz(self) -> float:
+        """Current (derated) frequency in GHz."""
+        return self._nominal_ghz * self._scale
+
+    @property
+    def period_ns(self) -> float:
+        """Current clock period in nanoseconds."""
+        return 1.0 / self.effective_ghz
+
+    @property
+    def scale(self) -> float:
+        """Derating multiplier in (0, 1]."""
+        return self._scale
+
+    def set_scale(self, scale: float) -> None:
+        """Apply a frequency derating multiplier (e.g. 0.8 for −20 %)."""
+        if not 0.0 < scale <= 1.0:
+            raise ValueError(f"scale must be in (0, 1], got {scale}")
+        self._scale = scale
+
+    def cycles_to_ns(self, cycles: float) -> float:
+        """Duration of ``cycles`` at the effective frequency."""
+        return cycles / self.effective_ghz
+
+    def ns_to_cycles(self, ns: float) -> float:
+        """Effective cycles elapsed in ``ns``."""
+        return ns * self.effective_ghz
+
+    def ceil_cycles(self, ns: float) -> int:
+        """Whole cycles needed to cover ``ns`` (rounds up)."""
+        return math.ceil(ns * self.effective_ghz - 1e-12)

@@ -1,0 +1,183 @@
+"""Discrete-event simulation engine.
+
+A small, deterministic event scheduler used by the event-level HMC cube
+model. Events are ordered by (time, priority, sequence number); the sequence
+number guarantees FIFO ordering among events scheduled for the same instant,
+which keeps simulations reproducible across runs.
+
+Times are in **nanoseconds** throughout the event-level models (the HMC
+timing parameters in the paper are given in ns).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulation time in nanoseconds.
+    priority:
+        Lower values run earlier among events at the same time.
+    seq:
+        Monotonic tie-breaker assigned by the engine.
+    callback:
+        Zero-argument callable invoked when the event fires.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+
+class EventEngine:
+    """Priority-queue discrete-event scheduler.
+
+    Example
+    -------
+    >>> eng = EventEngine()
+    >>> out = []
+    >>> _ = eng.schedule(5.0, lambda: out.append("b"))
+    >>> _ = eng.schedule(1.0, lambda: out.append("a"))
+    >>> eng.run()
+    >>> out
+    ['a', 'b']
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._seq = 0
+        self._now = 0.0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def schedule(
+        self, time: float, callback: Callable[[], None], priority: int = 0
+    ) -> Event:
+        """Schedule ``callback`` at absolute ``time``.
+
+        Raises :class:`ValueError` for events in the past.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule event at t={time} before now={self._now}"
+            )
+        ev = Event(time=time, priority=priority, seq=self._seq, callback=callback)
+        self._seq += 1
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    def schedule_after(
+        self, delay: float, callback: Callable[[], None], priority: int = 0
+    ) -> Event:
+        """Schedule ``callback`` after a relative ``delay`` (ns)."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.schedule(self._now + delay, callback, priority)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending (non-cancelled) event, or ``None``."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Run the single next event. Returns ``False`` if queue is empty."""
+        while self._queue:
+            ev = heapq.heappop(self._queue)
+            if ev.cancelled:
+                continue
+            self._now = ev.time
+            ev.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have fired. Returns the number of events executed.
+
+        When ``until`` is given, the engine stops *before* executing any
+        event with ``time > until`` and advances ``now`` to ``until``.
+        """
+        count = 0
+        while self._queue:
+            if max_events is not None and count >= max_events:
+                return count
+            t = self.peek_time()
+            if t is None:
+                break
+            if until is not None and t > until:
+                self._now = until
+                return count
+            self.step()
+            count += 1
+        if until is not None and until > self._now:
+            self._now = until
+        return count
+
+    def reset(self) -> None:
+        """Drop all pending events and rewind the clock to zero."""
+        self._queue.clear()
+        self._now = 0.0
+        self._seq = 0
+
+
+class Ticker:
+    """Fixed-period recurring event helper.
+
+    Invokes ``callback(now)`` every ``period`` ns until :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        engine: EventEngine,
+        period: float,
+        callback: Callable[[float], None],
+        start: Optional[float] = None,
+        priority: int = 0,
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self._engine = engine
+        self._period = period
+        self._callback = callback
+        self._priority = priority
+        self._stopped = False
+        first = engine.now + period if start is None else start
+        self._event: Optional[Event] = engine.schedule(first, self._fire, priority)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._callback(self._engine.now)
+        if not self._stopped:
+            self._event = self._engine.schedule(
+                self._engine.now + self._period, self._fire, self._priority
+            )
+
+    def stop(self) -> None:
+        """Cancel future firings."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None

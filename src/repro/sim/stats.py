@@ -1,0 +1,229 @@
+"""Statistics collection: counters, histograms, and time-weighted averages.
+
+Simulators in this repo register their statistics in a
+:class:`StatRegistry`, which supports hierarchical naming
+(``"hmc.vault3.read_requests"``) and snapshot/diff for interval reporting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class Counter:
+    """Monotonic (or signed) accumulator."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class RunningMean:
+    """Streaming mean/variance via Welford's algorithm."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, x: float) -> None:
+        self.n += 1
+        delta = x - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (x - self._mean)
+        self.min = min(self.min, x)
+        self.max = max(self.max, x)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.n else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.n - 1) if self.n > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def reset(self) -> None:
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+
+class TimeWeightedStat:
+    """Time-weighted average of a piecewise-constant signal.
+
+    Used for quantities like "PIM-enabled warp count over time", where the
+    mean must weight each level by how long it was held.
+    """
+
+    def __init__(self, name: str = "", initial: float = 0.0, start_time: float = 0.0):
+        self.name = name
+        self._value = initial
+        self._last_time = start_time
+        self._weighted_sum = 0.0
+        self._elapsed = 0.0
+        self.min = initial
+        self.max = initial
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def update(self, value: float, now: float) -> None:
+        """Record that the signal changed to ``value`` at time ``now``."""
+        if now < self._last_time:
+            raise ValueError(f"time went backwards: {now} < {self._last_time}")
+        dt = now - self._last_time
+        self._weighted_sum += self._value * dt
+        self._elapsed += dt
+        self._last_time = now
+        self._value = value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    def mean(self, now: Optional[float] = None) -> float:
+        """Time-weighted mean up to ``now`` (defaults to last update)."""
+        ws, el = self._weighted_sum, self._elapsed
+        if now is not None:
+            if now < self._last_time:
+                raise ValueError(f"time went backwards: {now} < {self._last_time}")
+            dt = now - self._last_time
+            ws += self._value * dt
+            el += dt
+        return ws / el if el > 0 else self._value
+
+
+class Histogram:
+    """Fixed-bin histogram over [lo, hi) with under/overflow buckets."""
+
+    def __init__(self, name: str, lo: float, hi: float, nbins: int) -> None:
+        if hi <= lo:
+            raise ValueError(f"hi must exceed lo: [{lo}, {hi})")
+        if nbins <= 0:
+            raise ValueError(f"nbins must be positive, got {nbins}")
+        self.name = name
+        self.lo = lo
+        self.hi = hi
+        self.nbins = nbins
+        self.bins = [0] * nbins
+        self.underflow = 0
+        self.overflow = 0
+        self.count = 0
+        self.total = 0.0
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        self.total += x
+        if x < self.lo:
+            self.underflow += 1
+        elif x >= self.hi:
+            self.overflow += 1
+        else:
+            idx = int((x - self.lo) / (self.hi - self.lo) * self.nbins)
+            self.bins[min(idx, self.nbins - 1)] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def bin_edges(self) -> List[float]:
+        w = (self.hi - self.lo) / self.nbins
+        return [self.lo + i * w for i in range(self.nbins + 1)]
+
+
+@dataclass
+class StatRegistry:
+    """Hierarchical registry of named statistics.
+
+    Names are dot-separated; :meth:`scoped` returns a child view that
+    prefixes all names, so components can register stats without knowing
+    where they sit in the hierarchy.
+    """
+
+    prefix: str = ""
+    _stats: Dict[str, object] = field(default_factory=dict)
+
+    def _full(self, name: str) -> str:
+        return f"{self.prefix}.{name}" if self.prefix else name
+
+    def scoped(self, prefix: str) -> "StatRegistry":
+        """Child registry sharing storage, with ``prefix`` prepended."""
+        return StatRegistry(prefix=self._full(prefix), _stats=self._stats)
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def running_mean(self, name: str) -> RunningMean:
+        return self._get_or_create(name, RunningMean)
+
+    def time_weighted(self, name: str, initial: float = 0.0) -> TimeWeightedStat:
+        full = self._full(name)
+        stat = self._stats.get(full)
+        if stat is None:
+            stat = TimeWeightedStat(full, initial=initial)
+            self._stats[full] = stat
+        if not isinstance(stat, TimeWeightedStat):
+            raise TypeError(f"stat {full!r} already registered as {type(stat).__name__}")
+        return stat
+
+    def histogram(self, name: str, lo: float, hi: float, nbins: int) -> Histogram:
+        full = self._full(name)
+        stat = self._stats.get(full)
+        if stat is None:
+            stat = Histogram(full, lo, hi, nbins)
+            self._stats[full] = stat
+        if not isinstance(stat, Histogram):
+            raise TypeError(f"stat {full!r} already registered as {type(stat).__name__}")
+        return stat
+
+    def _get_or_create(self, name: str, cls):
+        full = self._full(name)
+        stat = self._stats.get(full)
+        if stat is None:
+            stat = cls(full)
+            self._stats[full] = stat
+        if not isinstance(stat, cls):
+            raise TypeError(f"stat {full!r} already registered as {type(stat).__name__}")
+        return stat
+
+    def get(self, name: str) -> object:
+        return self._stats[self._full(name)]
+
+    def items(self) -> Iterator[Tuple[str, object]]:
+        pre = self.prefix + "." if self.prefix else ""
+        for k, v in sorted(self._stats.items()):
+            if k.startswith(pre):
+                yield k, v
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat dict of scalar values (counters and means only)."""
+        out: Dict[str, float] = {}
+        for k, v in self.items():
+            if isinstance(v, Counter):
+                out[k] = v.value
+            elif isinstance(v, RunningMean):
+                out[k] = v.mean
+            elif isinstance(v, TimeWeightedStat):
+                out[k] = v.mean()
+            elif isinstance(v, Histogram):
+                out[k] = v.mean
+        return out

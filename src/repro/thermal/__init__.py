@@ -1,0 +1,38 @@
+"""Compact thermal model of a 3D-stacked HMC package.
+
+A 3D-ICE-style RC-network model (DESIGN.md §2): each die is discretized
+into a grid of cells; vertical conduction crosses the bond/TIM interfaces;
+the top of the stack connects to ambient through a plate-fin heat sink
+(Table II). Power maps come from :mod:`repro.thermal.power` (traffic-driven
+pJ/bit energies plus PIM FU power); steady-state and implicit-Euler
+transient solvers live in :mod:`repro.thermal.solver`.
+
+The facade used by simulations is :class:`repro.thermal.model.HmcThermalModel`.
+"""
+
+from repro.thermal.cooling import (
+    COMMODITY_SERVER,
+    COOLING_SOLUTIONS,
+    HIGH_END_ACTIVE,
+    LOW_END_ACTIVE,
+    PASSIVE,
+    CoolingSolution,
+    fan_power_w,
+)
+from repro.thermal.model import HmcThermalModel
+from repro.thermal.power import PowerModel, TrafficPoint
+from repro.thermal.sensor import ThermalSensor
+
+__all__ = [
+    "COMMODITY_SERVER",
+    "COOLING_SOLUTIONS",
+    "CoolingSolution",
+    "HIGH_END_ACTIVE",
+    "HmcThermalModel",
+    "LOW_END_ACTIVE",
+    "PASSIVE",
+    "PowerModel",
+    "ThermalSensor",
+    "TrafficPoint",
+    "fan_power_w",
+]

@@ -1,0 +1,158 @@
+"""Vault-grid floorplan and power-map construction.
+
+The die is partitioned evenly into vaults (Sec. V-A: 68 mm² / 16 vaults =
+4.25 mm² per vault for HMC 1.1; HMC 2.0 assumed the same per-vault area).
+Each vault places its controller and PIM FU at the vault centre, which is
+why Fig. 3's logic-layer heat map shows a hot spot in the middle of every
+vault. The floorplan discretizes each vault into ``sub × sub`` grid cells
+and splits vault power between a concentrated centre component (controller
++ FU + SerDes share) and a distributed component (DRAM arrays, wiring).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hmc.config import HmcConfig
+
+
+def _grid_shape(num_vaults: int) -> tuple[int, int]:
+    """Near-square vault arrangement, e.g. 32 → 8×4, 16 → 4×4."""
+    best = (num_vaults, 1)
+    for rows in range(1, int(math.isqrt(num_vaults)) + 1):
+        if num_vaults % rows == 0:
+            best = (num_vaults // rows, rows)
+    return best
+
+
+@dataclass(frozen=True)
+class Floorplan:
+    """Cell grid over the die, aligned to vault boundaries.
+
+    Attributes
+    ----------
+    vault_cols, vault_rows:
+        Vault arrangement on the die.
+    sub:
+        Cells per vault edge (sub² cells per vault).
+    """
+
+    config: HmcConfig
+    vault_cols: int
+    vault_rows: int
+    sub: int = 2
+
+    @classmethod
+    def for_config(cls, config: HmcConfig, sub: int = 2) -> "Floorplan":
+        cols, rows = _grid_shape(config.num_vaults)
+        return cls(config=config, vault_cols=cols, vault_rows=rows, sub=sub)
+
+    @property
+    def nx(self) -> int:
+        """Grid cells along x."""
+        return self.vault_cols * self.sub
+
+    @property
+    def ny(self) -> int:
+        """Grid cells along y."""
+        return self.vault_rows * self.sub
+
+    @property
+    def num_cells(self) -> int:
+        return self.nx * self.ny
+
+    @property
+    def cell_area_m2(self) -> float:
+        return self.config.die_area_mm2 * 1e-6 / self.num_cells
+
+    @property
+    def die_width_m(self) -> float:
+        # Aspect ratio follows the vault grid; area fixed by the config.
+        area = self.config.die_area_mm2 * 1e-6
+        return math.sqrt(area * self.vault_cols / self.vault_rows)
+
+    @property
+    def die_height_m(self) -> float:
+        area = self.config.die_area_mm2 * 1e-6
+        return math.sqrt(area * self.vault_rows / self.vault_cols)
+
+    @property
+    def cell_dx_m(self) -> float:
+        return self.die_width_m / self.nx
+
+    @property
+    def cell_dy_m(self) -> float:
+        return self.die_height_m / self.ny
+
+    def vault_cells(self, vault_id: int) -> list[tuple[int, int]]:
+        """(ix, iy) cells belonging to a vault."""
+        if not 0 <= vault_id < self.config.num_vaults:
+            raise ValueError(f"vault {vault_id} out of range")
+        vx = vault_id % self.vault_cols
+        vy = vault_id // self.vault_cols
+        return [
+            (vx * self.sub + dx, vy * self.sub + dy)
+            for dy in range(self.sub)
+            for dx in range(self.sub)
+        ]
+
+    def vault_center_cells(self, vault_id: int) -> list[tuple[int, int]]:
+        """Cells closest to the vault centre (controller + FU placement)."""
+        cells = self.vault_cells(vault_id)
+        if self.sub == 1:
+            return cells
+        cx = (self.sub - 1) / 2.0
+        # The sub//2-sized central block (1 cell for sub=2 is ambiguous;
+        # pick the cells minimizing distance to centre, ties broadcast).
+        def dist(c: tuple[int, int]) -> float:
+            lx = c[0] % self.sub
+            ly = c[1] % self.sub
+            return (lx - cx) ** 2 + (ly - cx) ** 2
+
+        dmin = min(dist(c) for c in cells)
+        return [c for c in cells if abs(dist(c) - dmin) < 1e-9]
+
+    # -- power maps -----------------------------------------------------------
+
+    def uniform_map(self, total_power_w: float) -> np.ndarray:
+        """Power spread evenly over the die, shape (ny, nx)."""
+        if total_power_w < 0:
+            raise ValueError(f"negative power: {total_power_w}")
+        return np.full((self.ny, self.nx), total_power_w / self.num_cells)
+
+    def vault_map(
+        self,
+        per_vault_power_w: np.ndarray | float,
+        center_fraction: float = 0.0,
+    ) -> np.ndarray:
+        """Per-vault power, optionally concentrating a fraction at centres.
+
+        ``center_fraction`` models the vault controller + FU hot spot: that
+        share of the vault's power lands on the centre cells, the rest is
+        spread over the vault.
+        """
+        if not 0.0 <= center_fraction <= 1.0:
+            raise ValueError(f"center_fraction out of [0,1]: {center_fraction}")
+        nv = self.config.num_vaults
+        if np.isscalar(per_vault_power_w):
+            powers = np.full(nv, float(per_vault_power_w))
+        else:
+            powers = np.asarray(per_vault_power_w, dtype=float)
+            if powers.shape != (nv,):
+                raise ValueError(f"expected {nv} per-vault powers, got {powers.shape}")
+        if np.any(powers < 0):
+            raise ValueError("negative vault power")
+        grid = np.zeros((self.ny, self.nx))
+        for v in range(nv):
+            cells = self.vault_cells(v)
+            centers = self.vault_center_cells(v)
+            spread = powers[v] * (1.0 - center_fraction) / len(cells)
+            conc = powers[v] * center_fraction / len(centers)
+            for ix, iy in cells:
+                grid[iy, ix] += spread
+            for ix, iy in centers:
+                grid[iy, ix] += conc
+        return grid

@@ -1,0 +1,64 @@
+"""Material properties and layer geometry for the 3D stack.
+
+Values are standard for silicon dies, die-attach/underfill bond layers, and
+thermal interface material; they put the stack's junction-to-case
+resistance and millisecond-scale thermal time constant in the range the
+paper observes (Sec. IV-D: thermal response ~1 ms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Material:
+    """Bulk material: conductivity (W/m·K) and volumetric heat capacity
+    (J/m³·K)."""
+
+    name: str
+    conductivity_w_mk: float
+    volumetric_heat_j_m3k: float
+
+    def __post_init__(self) -> None:
+        if self.conductivity_w_mk <= 0 or self.volumetric_heat_j_m3k <= 0:
+            raise ValueError(f"material properties must be positive: {self}")
+
+
+#: Doped silicon die.
+SILICON = Material("silicon", conductivity_w_mk=120.0, volumetric_heat_j_m3k=1.63e6)
+
+#: Microbump + underfill bond layer between stacked dies (effective).
+BOND = Material("bond", conductivity_w_mk=1.2, volumetric_heat_j_m3k=2.0e6)
+
+#: Thermal interface material between top die and heat-sink base.
+TIM = Material("tim", conductivity_w_mk=3.0, volumetric_heat_j_m3k=2.2e6)
+
+#: Copper heat-spreader base plate of the sink.
+COPPER = Material("copper", conductivity_w_mk=390.0, volumetric_heat_j_m3k=3.4e6)
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One physical layer of the stack.
+
+    ``thickness_m`` is the die/film thickness; ``interface`` marks layers
+    that carry no power (bond, TIM).
+    """
+
+    name: str
+    material: Material
+    thickness_m: float
+    powered: bool = False
+
+    def __post_init__(self) -> None:
+        if self.thickness_m <= 0:
+            raise ValueError(f"layer thickness must be positive: {self}")
+
+    def vertical_resistance_k_w(self, area_m2: float) -> float:
+        """Conduction resistance through the layer for a given cell area."""
+        return self.thickness_m / (self.material.conductivity_w_mk * area_m2)
+
+    def heat_capacity_j_k(self, area_m2: float) -> float:
+        """Thermal capacitance of the layer volume over a cell."""
+        return self.material.volumetric_heat_j_m3k * area_m2 * self.thickness_m

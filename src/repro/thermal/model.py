@@ -1,0 +1,216 @@
+"""Thermal model facade used by experiments and the co-simulation.
+
+Wraps floorplan + stack + RC network + solvers into the queries the rest
+of the system needs:
+
+- :meth:`HmcThermalModel.steady_peak_dram_c` — Fig. 4/5-style operating
+  points (peak DRAM die temperature at a traffic level).
+- :meth:`HmcThermalModel.step` — transient integration for the feedback
+  control loop (Fig. 14).
+- :meth:`HmcThermalModel.heatmap` — per-layer temperature fields (Fig. 3).
+- Surface-temperature estimates for the prototype experiments (Fig. 1/2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.hmc.config import HMC_2_0, HmcConfig
+from repro.thermal.cooling import COMMODITY_SERVER, CoolingSolution
+from repro.thermal.floorplan import Floorplan
+from repro.thermal.power import PowerModel, TrafficPoint
+from repro.thermal.rc_network import DEFAULT_INTERFACE_SCALE, RcNetwork, build_network
+from repro.thermal.solver import SteadySolver, TransientSolver
+from repro.thermal.stack import StackSpec, build_stack
+
+
+class HmcThermalModel:
+    """Compact thermal model of one HMC package under a cooling solution."""
+
+    def __init__(
+        self,
+        config: HmcConfig = HMC_2_0,
+        cooling: CoolingSolution = COMMODITY_SERVER,
+        ambient_c: float = 25.0,
+        sub: int = 2,
+        power_model: Optional[PowerModel] = None,
+        interface_scale: float = DEFAULT_INTERFACE_SCALE,
+    ) -> None:
+        self.config = config
+        self.cooling = cooling
+        self.ambient_c = ambient_c
+        self.stack: StackSpec = build_stack(config)
+        self.floorplan = Floorplan.for_config(config, sub=sub)
+        self.power = power_model or PowerModel(config)
+        self.network: RcNetwork = build_network(
+            self.stack,
+            self.floorplan,
+            sink_resistance_c_w=cooling.thermal_resistance_c_w,
+            interface_scale=interface_scale,
+        )
+        self._steady = SteadySolver(self.network, ambient_c=ambient_c)
+        self._transient = TransientSolver(self.network, ambient_c=ambient_c)
+        self._last_T: Optional[np.ndarray] = None
+
+    # -- power plumbing ---------------------------------------------------------
+
+    def _basis(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Cached linear power basis for uniform vault weights.
+
+        Node power is linear in (external GB/s, internal GB/s, PIM rate):
+        ``P = Plogic0 + s·Pdram0 + ext·Vext + s·int·Vint + s·pim·Vpim``
+        where ``s`` is the hot-phase DRAM energy scale — the per-step
+        power-map assembly reduces to a few AXPYs. The DRAM-affected
+        components (static DRAM, internal traffic, PIM ops — the latter
+        dominated by DRAM activation energy) carry the scale; logic static
+        and SerDes switching do not.
+        """
+        if not hasattr(self, "_basis_cache"):
+            from dataclasses import replace as _replace
+
+            def vec(pm: PowerModel, t: TrafficPoint) -> np.ndarray:
+                maps = pm.layer_power_maps(self.floorplan, t)
+                return self.network.power_vector(maps)
+
+            pm = self.power
+            pm_dram_only = PowerModel(
+                pm.config,
+                dram_energy_per_bit=pm.dram_energy_per_bit,
+                logic_energy_per_bit=pm.logic_energy_per_bit,
+                fu_energy_per_bit=pm.fu_energy_per_bit,
+                static_logic_w=0.0,
+                static_dram_total_w=pm.static_dram_total_w,
+            )
+            p0 = vec(pm, TrafficPoint.idle())
+            p0_dram = vec(pm_dram_only, TrafficPoint.idle())
+            p0_logic = p0 - p0_dram
+            v_ext = vec(pm, TrafficPoint(external_gbs=1.0)) - p0
+            v_int = vec(pm, TrafficPoint(internal_dram_gbs=1.0)) - p0
+            v_pim = vec(pm, TrafficPoint(pim_rate_ops_ns=1.0)) - p0
+            self._basis_cache = (p0_logic, p0_dram, v_ext, v_int, v_pim)
+        return self._basis_cache
+
+    def _power_vector(
+        self,
+        traffic: TrafficPoint,
+        vault_weights: Optional[np.ndarray] = None,
+        dram_energy_scale: float = 1.0,
+    ) -> np.ndarray:
+        if dram_energy_scale < 0:
+            raise ValueError(f"negative energy scale: {dram_energy_scale}")
+        if vault_weights is None:
+            p0_logic, p0_dram, v_ext, v_int, v_pim = self._basis()
+            s = dram_energy_scale
+            return (
+                p0_logic
+                + s * p0_dram
+                + traffic.external_gbs * v_ext
+                + s * traffic.internal_dram_gbs * v_int
+                + s * traffic.pim_rate_ops_ns * v_pim
+            )
+        if dram_energy_scale != 1.0:
+            raise NotImplementedError(
+                "hot-phase energy scaling requires uniform vault weights"
+            )
+        maps = self.power.layer_power_maps(self.floorplan, traffic, vault_weights)
+        return self.network.power_vector(maps)
+
+    # -- steady-state queries --------------------------------------------------
+
+    def steady_state(
+        self, traffic: TrafficPoint, vault_weights: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Full steady node-temperature vector for an operating point."""
+        T = self._steady.solve(self._power_vector(traffic, vault_weights))
+        self._last_T = T
+        return T
+
+    def _peak_over_layers(self, T: np.ndarray, names: list[str]) -> float:
+        net = self.network
+        return max(
+            float(net.layer_temps(T, net.layer_index[n]).max()) for n in names
+        )
+
+    def steady_peak_dram_c(self, traffic: TrafficPoint) -> float:
+        """Peak DRAM-die temperature at steady state (Fig. 4/5 metric)."""
+        T = self.steady_state(traffic)
+        names = [f"dram{i}" for i in range(self.config.num_dram_dies)]
+        return self._peak_over_layers(T, names)
+
+    def steady_peak_logic_c(self, traffic: TrafficPoint) -> float:
+        T = self.steady_state(traffic)
+        return self._peak_over_layers(T, ["logic"])
+
+    def steady_surface_c(self, traffic: TrafficPoint) -> float:
+        """Package-surface (spreader-top) temperature — what a thermal
+        camera sees in the prototype experiments (Fig. 1/2)."""
+        T = self.steady_state(traffic)
+        net = self.network
+        surf = net.layer_temps(T, net.layer_index["spreader"])
+        return float(surf.max())
+
+    def junction_from_surface_c(self, surface_c: float, power_w: float) -> float:
+        """Estimate die temperature from a surface measurement using a
+        typical surface-to-junction resistance (Sec. III-A: 5–10 °C hotter
+        at ~20 W — i.e. ~0.35 °C/W)."""
+        return surface_c + 0.35 * power_w
+
+    # -- transient interface -----------------------------------------------------
+
+    @property
+    def state(self) -> np.ndarray:
+        return self._transient.T
+
+    def reset_transient(self, temp_c: Optional[float] = None) -> None:
+        self._transient.T = np.full(
+            self.network.num_nodes, self.ambient_c if temp_c is None else temp_c
+        )
+
+    def warm_start(self, traffic: TrafficPoint) -> None:
+        """Initialize the transient state at the steady point of ``traffic``."""
+        self._transient.set_state(self.steady_state(traffic))
+
+    def step(
+        self,
+        traffic: TrafficPoint,
+        dt_s: float,
+        vault_weights: Optional[np.ndarray] = None,
+        dram_energy_scale: float = 1.0,
+    ) -> float:
+        """Advance the transient by ``dt_s``; returns peak DRAM temp (°C).
+
+        ``dram_energy_scale`` applies the hot-phase energy penalty
+        (doubled refresh + leakage above 85 °C, see
+        :meth:`repro.hmc.dram_timing.TemperaturePhasePolicy.dram_energy_scale`).
+        """
+        P = self._power_vector(traffic, vault_weights, dram_energy_scale)
+        T = self._transient.step(P, dt_s)
+        self._last_T = T
+        names = [f"dram{i}" for i in range(self.config.num_dram_dies)]
+        return self._peak_over_layers(T, names)
+
+    def peak_dram_c(self) -> float:
+        """Peak DRAM temperature of the current transient state."""
+        T = self._transient.T
+        names = [f"dram{i}" for i in range(self.config.num_dram_dies)]
+        return self._peak_over_layers(T, names)
+
+    # -- maps ---------------------------------------------------------------------
+
+    def heatmap(self, layer_name: str) -> np.ndarray:
+        """(ny, nx) temperature field of a layer from the last solve."""
+        if self._last_T is None:
+            raise RuntimeError("no solve has been performed yet")
+        net = self.network
+        if layer_name not in net.layer_index:
+            raise KeyError(
+                f"unknown layer {layer_name!r}; have {sorted(net.layer_index)}"
+            )
+        return net.layer_temps(self._last_T, net.layer_index[layer_name]).copy()
+
+    def all_heatmaps(self) -> Dict[str, np.ndarray]:
+        return {name: self.heatmap(name) for name in self.network.layer_index}

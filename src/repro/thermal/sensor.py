@@ -1,0 +1,78 @@
+"""Thermal sensor with sampling delay and hysteresis.
+
+The HMC raises thermal warnings through response-packet ERRSTAT bits
+(Sec. II-A). Physical sensors sample periodically and the package responds
+thermally on a ~1 ms timescale (Fig. 8: Tthermal ≈ 1 ms). The sensor here
+samples the peak DRAM temperature at a fixed period and drives the warning
+flag with hysteresis so the control loop doesn't chatter at the threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass
+class ThermalSensor:
+    """Sampled warning generator.
+
+    Attributes
+    ----------
+    warn_threshold_c:
+        Raise the warning when peak temperature is at/above this (85 °C —
+        the top of DRAM's normal operating range).
+    clear_threshold_c:
+        Clear the warning when temperature falls below this (hysteresis).
+    sample_period_s:
+        Sensor sampling period.
+    """
+
+    warn_threshold_c: float = 85.0
+    clear_threshold_c: float = 83.0
+    sample_period_s: float = 100e-6
+    _warning: bool = field(default=False, init=False)
+    _last_sample_time: float = field(default=float("-inf"), init=False)
+    _last_temp: float = field(default=0.0, init=False)
+    history: List[Tuple[float, float, bool]] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        if self.clear_threshold_c > self.warn_threshold_c:
+            raise ValueError(
+                f"clear threshold ({self.clear_threshold_c}) must not exceed "
+                f"warn threshold ({self.warn_threshold_c})"
+            )
+        if self.sample_period_s <= 0:
+            raise ValueError(f"sample period must be positive: {self.sample_period_s}")
+
+    @property
+    def warning(self) -> bool:
+        return self._warning
+
+    @property
+    def last_temp_c(self) -> float:
+        return self._last_temp
+
+    def observe(self, temp_c: float, now_s: float) -> bool:
+        """Offer a temperature reading; takes effect only at sample times.
+
+        Returns the (possibly updated) warning state.
+        """
+        if now_s - self._last_sample_time < self.sample_period_s:
+            return self._warning
+        self._last_sample_time = now_s
+        self._last_temp = temp_c
+        if self._warning:
+            if temp_c < self.clear_threshold_c:
+                self._warning = False
+        else:
+            if temp_c >= self.warn_threshold_c:
+                self._warning = True
+        self.history.append((now_s, temp_c, self._warning))
+        return self._warning
+
+    def reset(self) -> None:
+        self._warning = False
+        self._last_sample_time = float("-inf")
+        self._last_temp = 0.0
+        self.history.clear()

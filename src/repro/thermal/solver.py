@@ -1,0 +1,95 @@
+"""Steady-state and transient solvers for the RC thermal network.
+
+Steady state solves ``G·T = P + B·T_amb`` with a sparse factorization.
+Transients use implicit (backward) Euler, unconditionally stable for this
+stiff system:
+
+    (C/dt + G) T_{n+1} = (C/dt) T_n + P + B·T_amb
+
+The step factorization is cached per ``dt``, so fixed-step co-simulation
+pays one LU per run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.thermal.rc_network import RcNetwork
+
+
+class SteadySolver:
+    """Cached-factorization steady-state solver."""
+
+    def __init__(self, network: RcNetwork, ambient_c: float = 25.0) -> None:
+        self.network = network
+        self.ambient_c = ambient_c
+        self._lu = spla.splu(sp.csc_matrix(network.G))
+
+    def solve(self, P: np.ndarray) -> np.ndarray:
+        """Steady temperatures (°C) for node power vector ``P`` (W)."""
+        net = self.network
+        if P.shape != (net.num_nodes,):
+            raise ValueError(f"P has shape {P.shape}, expected ({net.num_nodes},)")
+        rhs = P + net.B * self.ambient_c
+        return self._lu.solve(rhs)
+
+
+class TransientSolver:
+    """Implicit-Euler transient integrator with per-dt cached LU."""
+
+    def __init__(
+        self,
+        network: RcNetwork,
+        ambient_c: float = 25.0,
+        initial_c: Optional[float] = None,
+    ) -> None:
+        self.network = network
+        self.ambient_c = ambient_c
+        self.T = np.full(network.num_nodes, ambient_c if initial_c is None else initial_c)
+        self._lus: Dict[float, spla.SuperLU] = {}
+
+    def set_state(self, T: np.ndarray) -> None:
+        if T.shape != self.T.shape:
+            raise ValueError(f"T has shape {T.shape}, expected {self.T.shape}")
+        self.T = T.copy()
+
+    def _lu_for(self, dt_s: float) -> spla.SuperLU:
+        lu = self._lus.get(dt_s)
+        if lu is None:
+            net = self.network
+            A = sp.csc_matrix(sp.diags(net.C / dt_s) + net.G)
+            lu = spla.splu(A)
+            self._lus[dt_s] = lu
+        return lu
+
+    def step(self, P: np.ndarray, dt_s: float) -> np.ndarray:
+        """Advance one implicit-Euler step of ``dt_s`` seconds."""
+        if dt_s <= 0:
+            raise ValueError(f"dt must be positive: {dt_s}")
+        net = self.network
+        if P.shape != (net.num_nodes,):
+            raise ValueError(f"P has shape {P.shape}, expected ({net.num_nodes},)")
+        lu = self._lu_for(dt_s)
+        rhs = net.C / dt_s * self.T + P + net.B * self.ambient_c
+        self.T = lu.solve(rhs)
+        return self.T
+
+    def run(self, P: np.ndarray, duration_s: float, dt_s: float) -> np.ndarray:
+        """Integrate a constant power vector for ``duration_s``."""
+        steps = int(round(duration_s / dt_s))
+        for _ in range(steps):
+            self.step(P, dt_s)
+        return self.T
+
+    def dominant_time_constant_s(self) -> float:
+        """Estimate of the slowest thermal time constant (diagnostic).
+
+        Uses the ratio of total capacitance to total boundary conductance —
+        an upper bound on the settling timescale of the package.
+        """
+        net = self.network
+        return float(net.C.sum() / net.B.sum())

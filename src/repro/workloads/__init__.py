@@ -1,0 +1,31 @@
+"""GraphBIG-style GPU graph workloads (Sec. V: Table IV benchmarks).
+
+Python reimplementations of the ten GraphBIG kernels the paper evaluates —
+``dc``, ``bfs-ta``, ``bfs-dwc``, ``bfs-ttc``, ``bfs-twc``, ``kcore``,
+``pagerank``, ``sssp-dtc``, ``sssp-dwc``, ``sssp-twc`` — executing the real
+algorithms on CSR graphs and emitting per-epoch operation batches
+(:class:`repro.sim.trace.OpBatch`) for the interval simulator.
+
+Variant naming follows GraphBIG's GPU implementations: ``t``/``d`` =
+topology-driven vs data-driven, ``tc``/``wc`` = thread-centric vs
+warp-centric mapping, ``ta`` = topology-driven with per-edge atomics.
+Warp-centric kernels coalesce adjacency reads and barely diverge;
+thread-centric and topology-driven ones read poorly and diverge heavily —
+exactly the knobs in Eq. (1).
+"""
+
+from repro.workloads.base import EpochCounts, GraphWorkload, TrafficCoefficients
+from repro.workloads.registry import (
+    BENCHMARKS,
+    get_workload,
+    list_workloads,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "EpochCounts",
+    "GraphWorkload",
+    "TrafficCoefficients",
+    "get_workload",
+    "list_workloads",
+]

@@ -1,0 +1,166 @@
+"""Breadth-first search variants (GraphBIG GPU kernels).
+
+All variants compute the same depths; they differ in how work maps to GPU
+threads, which changes traffic and divergence:
+
+- ``bfs-ta`` — topology-driven, atomic per inspected edge: every level
+  scans all vertices and issues a depth-CAS for every edge of active ones.
+- ``bfs-ttc`` — topology-driven thread-centric: one thread per vertex,
+  scattered adjacency reads, high divergence; atomics only on unvisited
+  targets.
+- ``bfs-twc`` — topology-driven warp-centric: a warp cooperates per
+  vertex, coalescing adjacency reads and erasing divergence.
+- ``bfs-dwc`` — data-driven (frontier queue) warp-centric: only frontier
+  vertices are touched.
+
+Each workload runs ``num_sources`` traversals back to back (the evaluation
+drives BFS as a query stream — single-source runs on the LDBC graph are
+too short to exercise thermal behaviour, Sec. V).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.workloads.base import EpochCounts, GraphWorkload, TrafficCoefficients
+
+
+def bfs_depths(graph: CSRGraph, source: int) -> np.ndarray:
+    """Reference level-synchronous BFS; -1 marks unreachable vertices."""
+    depth = np.full(graph.num_vertices, -1, dtype=np.int64)
+    depth[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    level = 0
+    while frontier.size:
+        _, targets, _ = graph.expand(frontier)
+        unvisited = np.unique(targets[depth[targets] == -1])
+        depth[unvisited] = level + 1
+        frontier = unvisited
+        level += 1
+    return depth
+
+
+def pick_sources(graph: CSRGraph, count: int, seed: int) -> np.ndarray:
+    """Deterministic query sources, biased to well-connected vertices."""
+    deg = np.asarray(graph.out_degree())
+    candidates = np.flatnonzero(deg > 0)
+    if candidates.size == 0:
+        return np.zeros(min(count, 1), dtype=np.int64)
+    rng = np.random.default_rng(seed)
+    return rng.choice(candidates, size=min(count, candidates.size), replace=False)
+
+
+class _BfsBase(GraphWorkload):
+    """Shared level-synchronous engine; subclasses set the mapping."""
+
+    #: Topology-driven kernels scan the full vertex set every level.
+    topological: bool = False
+    #: "edge" → CAS per inspected edge; "unvisited" → CAS only on
+    #: not-yet-visited targets (check-then-atomic mapping).
+    atomic_mode: str = "unvisited"
+    num_sources: int = 128
+
+    def epochs(self, graph: CSRGraph) -> Iterator[EpochCounts]:
+        sources = pick_sources(graph, self.num_sources, self.seed)
+        for q, src in enumerate(sources):
+            yield from self._one_traversal(graph, int(src), q)
+
+    def _one_traversal(
+        self, graph: CSRGraph, source: int, query: int
+    ) -> Iterator[EpochCounts]:
+        depth = np.full(graph.num_vertices, -1, dtype=np.int64)
+        depth[source] = 0
+        frontier = np.array([source], dtype=np.int64)
+        level = 0
+        while frontier.size:
+            _, targets, _ = graph.expand(frontier)
+            edges = int(targets.size)
+            unvisited_mask = depth[targets] == -1
+            if self.atomic_mode == "edge":
+                atomics = edges
+            else:
+                atomics = int(unvisited_mask.sum())
+            next_frontier = np.unique(targets[unvisited_mask])
+            depth[next_frontier] = level + 1
+            scanned = graph.num_vertices if self.topological else 0
+            yield EpochCounts(
+                label=f"q{query}-level{level}",
+                frontier_vertices=int(frontier.size),
+                scanned_vertices=scanned,
+                edges_inspected=edges,
+                atomics=atomics,
+                updated_vertices=int(next_frontier.size),
+            )
+            frontier = next_frontier
+            level += 1
+
+    def reference(self, graph: CSRGraph) -> np.ndarray:
+        sources = pick_sources(graph, self.num_sources, self.seed)
+        return bfs_depths(graph, int(sources[0]))
+
+
+class BfsTa(_BfsBase):
+    """Topology-driven, atomic-per-edge (GraphBIG ``bfs_topo_atomic``)."""
+
+    name = "bfs-ta"
+    topological = True
+    atomic_mode = "edge"
+    coeffs = TrafficCoefficients(
+        lines_per_edge=1.667,
+        write_lines_per_edge=1.334,
+        instrs_per_edge=14.0,
+        divergence=0.40,
+        read_hit_rate=0.45,
+        atomic_coalescing=0.50,
+    )
+
+
+class BfsTtc(_BfsBase):
+    """Topology-driven thread-centric: scattered reads, heavy divergence."""
+
+    name = "bfs-ttc"
+    topological = True
+    atomic_mode = "edge"
+    coeffs = TrafficCoefficients(
+        lines_per_edge=1.053,
+        write_lines_per_edge=0.764,
+        instrs_per_edge=16.0,
+        divergence=0.50,
+        read_hit_rate=0.40,
+        atomic_coalescing=0.351,
+    )
+
+
+class BfsTwc(_BfsBase):
+    """Topology-driven warp-centric: coalesced reads, low divergence."""
+
+    name = "bfs-twc"
+    topological = True
+    atomic_mode = "edge"
+    coeffs = TrafficCoefficients(
+        lines_per_edge=0.94,
+        write_lines_per_edge=0.44,
+        instrs_per_edge=10.0,
+        divergence=0.05,
+        read_hit_rate=0.50,
+        atomic_coalescing=0.289,
+    )
+
+
+class BfsDwc(_BfsBase):
+    """Data-driven warp-centric: frontier queue + coalesced expansion."""
+
+    name = "bfs-dwc"
+    topological = False
+    atomic_mode = "edge"
+    coeffs = TrafficCoefficients(
+        lines_per_edge=0.94,
+        write_lines_per_edge=0.44,
+        instrs_per_edge=10.0,
+        divergence=0.05,
+        read_hit_rate=0.50,
+        atomic_coalescing=0.289,
+    )

@@ -1,0 +1,58 @@
+"""Benchmark registry — the ten GraphBIG workloads of the evaluation,
+plus extra kernels available by name but excluded from the figures."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.workloads.base import GraphWorkload
+from repro.workloads.bfs import BfsDwc, BfsTa, BfsTtc, BfsTwc
+from repro.workloads.dc import DegreeCentrality
+from repro.workloads.extras import (
+    ConnectedComponents,
+    GraphColoring,
+    TriangleCount,
+)
+from repro.workloads.kcore import KCore
+from repro.workloads.pagerank import PageRank
+from repro.workloads.sssp import SsspDtc, SsspDwc, SsspTwc
+
+#: Figure order used in the paper's evaluation plots.
+BENCHMARKS: Dict[str, Type[GraphWorkload]] = {
+    "dc": DegreeCentrality,
+    "bfs-ta": BfsTa,
+    "bfs-dwc": BfsDwc,
+    "bfs-ttc": BfsTtc,
+    "bfs-twc": BfsTwc,
+    "kcore": KCore,
+    "pagerank": PageRank,
+    "sssp-dtc": SsspDtc,
+    "sssp-dwc": SsspDwc,
+    "sssp-twc": SsspTwc,
+}
+
+#: Kernels beyond the paper's evaluation set (runnable via get_workload
+#: and the CLI, but never part of the Fig. 10-14 matrix).
+EXTRA_WORKLOADS: Dict[str, Type[GraphWorkload]] = {
+    "cc": ConnectedComponents,
+    "gc": GraphColoring,
+    "tc": TriangleCount,
+}
+
+
+def list_workloads(include_extras: bool = False) -> List[str]:
+    names = list(BENCHMARKS)
+    if include_extras:
+        names += list(EXTRA_WORKLOADS)
+    return names
+
+
+def get_workload(name: str, seed: int = 0) -> GraphWorkload:
+    """Instantiate a benchmark (or extra kernel) by name."""
+    cls = BENCHMARKS.get(name) or EXTRA_WORKLOADS.get(name)
+    if cls is None:
+        raise KeyError(
+            f"unknown workload {name!r}; available: "
+            f"{list_workloads(include_extras=True)}"
+        )
+    return cls(seed=seed)

@@ -1,0 +1,98 @@
+"""HW-DynT: PCU warp throttling with delayed/settling control."""
+
+import pytest
+
+from repro.core.hw_dynt import SETTLE_EPSILON_C, HwDynT
+from repro.gpu.config import GPU_DEFAULT
+from repro.gpu.kernel import KernelLaunch
+from repro.sim.trace import OpBatch, TraceCursor
+
+
+def launch(warps=512):
+    threads = warps * GPU_DEFAULT.threads_per_warp
+    return KernelLaunch(
+        name="x",
+        trace=TraceCursor([OpBatch(reads=10, writes=0, atomics=10,
+                                   threads=threads)]),
+        total_threads=threads,
+    )
+
+
+class TestInitialization:
+    def test_starts_fully_enabled(self):
+        # Sec. IV-C: "we set the initial number of PIM-enabled warps to
+        # the maximum" — no static analysis required.
+        policy = HwDynT()
+        policy.begin(launch(), now_s=0.0)
+        assert policy.pim_fraction(0.0) == 1.0
+        assert policy.enabled_warps == 512
+
+    def test_active_warps_capped_by_hardware(self):
+        policy = HwDynT()
+        policy.begin(launch(warps=10_000), now_s=0.0)
+        assert policy.enabled_warps == GPU_DEFAULT.max_concurrent_warps
+
+
+class TestThrottling:
+    def test_first_warning_reduces(self):
+        policy = HwDynT(control_factor=32)
+        policy.begin(launch(), now_s=0.0)
+        policy.on_thermal_warning(1e-3, temp_c=86.0)
+        assert policy.enabled_warps == 512 - 32
+
+    def test_fast_apply_delay(self):
+        policy = HwDynT(control_factor=32)
+        policy.begin(launch(), now_s=0.0)
+        policy.on_thermal_warning(1e-3, temp_c=86.0)
+        # HW Tthrottle is ~0.1 us: effective almost immediately.
+        assert policy.pim_fraction(1e-3 + 1e-6) == pytest.approx(480 / 512)
+
+    def test_rising_temperature_allows_rapid_steps(self):
+        policy = HwDynT(control_factor=32)
+        policy.begin(launch(), now_s=0.0)
+        policy.on_thermal_warning(1.0e-3, temp_c=86.0)
+        policy.on_thermal_warning(1.1e-3, temp_c=87.0)  # rising: act now
+        assert policy.enabled_warps == 512 - 64
+
+    def test_falling_temperature_suppresses_steps(self):
+        # Sec. IV-C delayed updates: a falling temperature means the last
+        # reduction is still taking effect.
+        policy = HwDynT(control_factor=32)
+        policy.begin(launch(), now_s=0.0)
+        policy.on_thermal_warning(1.0e-3, temp_c=90.0)
+        policy.on_thermal_warning(2.5e-3, temp_c=89.0)  # falling
+        policy.on_thermal_warning(4.0e-3, temp_c=88.0)  # still falling
+        assert policy.enabled_warps == 512 - 32
+
+    def test_settled_hot_takes_one_step_per_thermal_period(self):
+        policy = HwDynT(control_factor=32)
+        policy.begin(launch(), now_s=0.0)
+        policy.on_thermal_warning(1.0e-3, temp_c=88.0)
+        # settled (same temp) but within Tthermal: no action
+        policy.on_thermal_warning(1.5e-3, temp_c=88.0)
+        assert policy.enabled_warps == 512 - 32
+        # settled and Tthermal elapsed: one more step
+        policy.on_thermal_warning(2.5e-3, temp_c=88.0)
+        assert policy.enabled_warps == 512 - 64
+
+    def test_enabled_never_negative(self):
+        policy = HwDynT(control_factor=10_000)
+        policy.begin(launch(), now_s=0.0)
+        policy.on_thermal_warning(1e-3, temp_c=90.0)
+        assert policy.enabled_warps == 0
+        assert policy.pim_fraction(1.0) == 0.0
+
+    def test_warp_granularity_finer_than_blocks(self):
+        # One HW step moves the fraction by CF/active_warps — finer than
+        # SW's one-block quantum when CF < warps_per_block x blocks step.
+        policy = HwDynT(control_factor=1)
+        policy.begin(launch(), now_s=0.0)
+        policy.on_thermal_warning(1e-3, temp_c=86.0)
+        f = policy.pim_fraction(2e-3)
+        assert f == pytest.approx(511 / 512)
+
+
+class TestValidation:
+    def test_positive_cf(self):
+        with pytest.raises(ValueError):
+            HwDynT(control_factor=0)

@@ -1,0 +1,99 @@
+"""Eq. (1) PTP initialization."""
+
+import pytest
+
+from repro.core.initialization import (
+    PIM_RATE_THRESHOLD_OPS_NS,
+    PTP_MARGIN_BLOCKS,
+    PtpInitializer,
+)
+from repro.gpu.config import GPU_DEFAULT
+from repro.gpu.kernel import KernelLaunch
+from repro.sim.trace import OpBatch, TraceCursor
+
+
+def launch_with(intensity: float, divergence: float) -> KernelLaunch:
+    atomics = int(1000 * intensity)
+    reads = 1000 - atomics
+    return KernelLaunch(
+        name="x",
+        trace=TraceCursor([
+            OpBatch(reads=reads, writes=0, atomics=atomics, threads=1000,
+                    divergent_warp_ratio=divergence)
+        ]),
+        total_threads=100_000,
+    )
+
+
+@pytest.fixture
+def init():
+    return PtpInitializer()
+
+
+class TestForwardEquation:
+    def test_eq1_shape(self, init):
+        # PIMRate = peak x intensity x (PTP/MaxBlk) x (1 - div)
+        max_blk = GPU_DEFAULT.max_concurrent_blocks
+        rate = init.estimated_rate(max_blk // 2, intensity=0.5, divergence=0.2)
+        expected = init.pim_peak_rate_ops_ns * 0.5 * 0.5 * 0.8
+        assert rate == pytest.approx(expected)
+
+    def test_rate_caps_at_full_pool(self, init):
+        max_blk = GPU_DEFAULT.max_concurrent_blocks
+        r1 = init.estimated_rate(max_blk, 0.5, 0.0)
+        r2 = init.estimated_rate(max_blk * 2, 0.5, 0.0)
+        assert r1 == r2
+
+
+class TestInverse:
+    def test_calculated_size_meets_threshold(self, init):
+        size = init.calculated_size(intensity=0.6, divergence=0.1)
+        rate = init.estimated_rate(size, 0.6, 0.1)
+        assert rate <= PIM_RATE_THRESHOLD_OPS_NS + 1e-9
+
+    def test_low_intensity_unconstrained(self, init):
+        size = init.calculated_size(intensity=0.01, divergence=0.0)
+        assert size == GPU_DEFAULT.max_concurrent_blocks
+
+    def test_divergence_relaxes_the_pool(self, init):
+        tight = init.calculated_size(0.6, divergence=0.0)
+        loose = init.calculated_size(0.6, divergence=0.5)
+        assert loose > tight
+
+    def test_zero_intensity_no_constraint(self, init):
+        assert init.calculated_size(0.0, 0.0) == GPU_DEFAULT.max_concurrent_blocks
+
+    def test_bounds_validated(self, init):
+        with pytest.raises(ValueError):
+            init.calculated_size(1.5, 0.0)
+        with pytest.raises(ValueError):
+            init.calculated_size(0.5, -0.1)
+
+
+class TestInitialSize:
+    def test_margin_added(self, init):
+        launch = launch_with(intensity=0.6, divergence=0.0)
+        size = init.initial_size(launch)
+        calc = init.calculated_size(0.6, 0.0)
+        assert size == min(calc + PTP_MARGIN_BLOCKS,
+                           GPU_DEFAULT.max_concurrent_blocks)
+
+    def test_clamped_to_max_blocks(self, init):
+        launch = launch_with(intensity=0.01, divergence=0.0)
+        assert init.initial_size(launch) == GPU_DEFAULT.max_concurrent_blocks
+
+    def test_margin_is_four_blocks(self):
+        assert PTP_MARGIN_BLOCKS == 4
+
+    def test_threshold_is_papers(self):
+        assert PIM_RATE_THRESHOLD_OPS_NS == pytest.approx(1.3)
+
+
+class TestValidation:
+    def test_positive_params(self):
+        with pytest.raises(ValueError):
+            PtpInitializer(pim_peak_rate_ops_ns=0.0)
+        with pytest.raises(ValueError):
+            PtpInitializer(rate_threshold_ops_ns=-1.0)
+        with pytest.raises(ValueError):
+            PtpInitializer(margin_blocks=-1)

@@ -1,0 +1,61 @@
+"""Offloading policy basics and the factory."""
+
+import pytest
+
+from repro.core.hw_dynt import HwDynT
+from repro.core.policies import (
+    POLICY_NAMES,
+    IdealThermal,
+    NaiveOffloading,
+    NonOffloading,
+    make_policy,
+)
+from repro.core.sw_dynt import SwDynT
+
+
+class TestStaticPolicies:
+    def test_non_offloading_fraction(self):
+        assert NonOffloading().pim_fraction(0.0) == 0.0
+
+    def test_naive_fraction(self):
+        p = NaiveOffloading()
+        assert p.pim_fraction(0.0) == 1.0
+        p.on_thermal_warning(1.0)  # ignored by design
+        assert p.pim_fraction(2.0) == 1.0
+
+    def test_ideal_is_thermal_exempt(self):
+        assert IdealThermal().thermal_exempt
+        assert not NaiveOffloading().thermal_exempt
+
+    def test_fraction_history_recording(self):
+        p = NonOffloading()
+        p.record_fraction(1.0, 0.5)
+        assert p.fraction_history == [(1.0, 0.5)]
+
+
+class TestFactory:
+    def test_all_names_construct(self):
+        classes = {
+            "non-offloading": NonOffloading,
+            "naive-offloading": NaiveOffloading,
+            "coolpim-sw": SwDynT,
+            "coolpim-hw": HwDynT,
+            "ideal-thermal": IdealThermal,
+        }
+        for name, cls in classes.items():
+            assert isinstance(make_policy(name), cls)
+
+    def test_policy_names_complete(self):
+        assert len(POLICY_NAMES) == 5
+
+    def test_names_match_instances(self):
+        for name in POLICY_NAMES:
+            assert make_policy(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_policy("nope")
+
+    def test_kwargs_forwarded(self):
+        p = make_policy("coolpim-sw", control_factor=3)
+        assert p.control_factor == 3

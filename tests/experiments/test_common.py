@@ -1,0 +1,72 @@
+"""Experiment utilities: table formatting and run scaling."""
+
+import pytest
+
+from repro.experiments.common import RunScale, format_table, scaled_workload
+
+
+class TestFormatTable:
+    def test_aligns_columns(self):
+        out = format_table(["a", "bb"], [["x", 1.5], ["yyyy", 22.0]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "----" in lines[1]
+        assert len(lines) == 4
+
+    def test_title_prepended(self):
+        out = format_table(["h"], [["v"]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[1.23456]])
+        assert "1.23" in out
+
+    def test_large_numbers_not_scientific(self):
+        out = format_table(["x"], [[12345.6]])
+        assert "12346" in out
+
+    def test_empty_rows(self):
+        out = format_table(["col"], [])
+        assert "col" in out
+
+
+class TestRunScale:
+    def test_full_uses_evaluation_graph(self):
+        scale = RunScale.full()
+        assert scale.dataset == "ldbc"
+        assert scale.workload_scale == 1.0
+
+    def test_quick_shrinks(self):
+        scale = RunScale.quick()
+        assert scale.dataset == "ldbc-small"
+        assert scale.workload_scale < 1.0
+
+    def test_hashable_for_cache_keys(self):
+        assert hash(RunScale.full()) == hash(RunScale.full())
+
+
+class TestScaledWorkload:
+    def test_full_scale_keeps_defaults(self):
+        w = scaled_workload("bfs-dwc", RunScale.full())
+        from repro.workloads.bfs import BfsDwc
+
+        assert w.num_sources == BfsDwc.num_sources
+
+    def test_quick_scale_shrinks_sources(self):
+        w = scaled_workload("bfs-dwc", RunScale.quick())
+        from repro.workloads.bfs import BfsDwc
+
+        assert w.num_sources < BfsDwc.num_sources
+        assert w.num_sources >= 1
+
+    def test_scales_iterations_and_repeats(self):
+        pr = scaled_workload("pagerank", RunScale.quick())
+        dc = scaled_workload("dc", RunScale.quick())
+        from repro.workloads.dc import DegreeCentrality
+        from repro.workloads.pagerank import PageRank
+
+        assert pr.iterations < PageRank.iterations
+        assert dc.repeats < DegreeCentrality.repeats
+
+    def test_seed_forwarded(self):
+        assert scaled_workload("dc", RunScale.quick(), seed=9).seed == 9

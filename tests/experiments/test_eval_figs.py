@@ -1,0 +1,125 @@
+"""Figs. 10–14 at quick scale: the evaluation's qualitative shape.
+
+These run the full co-simulation on a reduced graph (RunScale.quick), so
+they check orderings and invariants rather than the calibrated full-scale
+magnitudes (EXPERIMENTS.md records those).
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig10_speedup,
+    fig11_bandwidth_savings,
+    fig12_pim_rate_avg,
+    fig13_peak_temp,
+    fig14_time_series,
+)
+from repro.experiments.common import RunScale
+from repro.experiments.evaluation import run_matrix
+
+SCALE = RunScale.quick()
+HOT = ["dc", "bfs-dwc", "pagerank"]
+COOL = ["kcore", "sssp-dtc"]
+QUICK_WORKLOADS = HOT + COOL
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return run_matrix(SCALE, workloads=QUICK_WORKLOADS)
+
+
+class TestMatrix:
+    def test_all_cells_present(self, matrix):
+        assert set(matrix.workloads) == set(QUICK_WORKLOADS)
+        for wl in matrix.workloads:
+            assert len(matrix.results[wl]) == 5
+
+    def test_baseline_never_offloads(self, matrix):
+        for wl in matrix.workloads:
+            assert matrix.baseline(wl).pim_ops == 0
+
+    def test_ideal_dominates_everything(self, matrix):
+        for wl in matrix.workloads:
+            su_ideal = matrix.speedup(wl, "ideal-thermal")
+            for policy in ("naive-offloading", "coolpim-sw", "coolpim-hw"):
+                assert su_ideal >= matrix.speedup(wl, policy) - 1e-9
+
+    def test_cool_benchmarks_unaffected_by_throttling(self, matrix):
+        # kcore and sssp-dtc: naive == CoolPIM (Sec. V-B).
+        for wl in COOL:
+            naive = matrix.speedup(wl, "naive-offloading")
+            for policy in ("coolpim-sw", "coolpim-hw"):
+                assert matrix.speedup(wl, policy) == pytest.approx(
+                    naive, rel=0.05
+                )
+
+
+class TestFig10:
+    def test_speedups_and_geomeans(self, matrix):
+        result = fig10_speedup.run(SCALE)
+        # uses the cached matrix; spot-check consistency
+        for wl in QUICK_WORKLOADS:
+            assert result.speedups[wl]["ideal-thermal"] == pytest.approx(
+                matrix.speedup(wl, "ideal-thermal")
+            )
+        assert result.geo_means["ideal-thermal"] > 1.0
+
+    def test_formatting(self):
+        result = fig10_speedup.run(SCALE)
+        out = fig10_speedup.format_result(result)
+        assert "geo-mean" in out and "CoolPIM(SW)" in out
+
+
+class TestFig11:
+    def test_offloading_reduces_total_traffic(self):
+        result = fig11_bandwidth_savings.run(SCALE)
+        for wl in HOT:
+            assert result.traffic_ratio[wl]["naive-offloading"] < 1.0
+            assert result.traffic_ratio[wl]["non-offloading"] == pytest.approx(1.0)
+
+    def test_naive_saves_at_least_as_much_as_coolpim(self):
+        result = fig11_bandwidth_savings.run(SCALE)
+        for wl in HOT:
+            naive = result.traffic_ratio[wl]["naive-offloading"]
+            sw = result.traffic_ratio[wl]["coolpim-sw"]
+            assert naive <= sw + 0.02
+
+
+class TestFig12:
+    def test_naive_rates_exceed_coolpim_on_hot_benchmarks(self, matrix):
+        result = fig12_pim_rate_avg.run(SCALE)
+        for wl in HOT:
+            naive = result.rates[wl]["naive-offloading"]
+            for p in ("coolpim-sw", "coolpim-hw"):
+                assert result.rates[wl][p] <= naive + 1e-9
+
+    def test_cool_benchmarks_below_threshold_natively(self):
+        result = fig12_pim_rate_avg.run(SCALE)
+        for wl in COOL:
+            assert result.rates[wl]["naive-offloading"] < 1.5
+
+
+class TestFig13:
+    def test_coolpim_cooler_than_naive_on_hot_benchmarks(self):
+        result = fig13_peak_temp.run(SCALE)
+        for wl in HOT:
+            naive = result.temps[wl]["naive-offloading"]
+            for p in ("coolpim-sw", "coolpim-hw"):
+                assert result.temps[wl][p] <= naive + 0.5
+
+
+class TestFig14:
+    def test_time_series_structure(self):
+        result = fig14_time_series.run("dc", scale=SCALE, sample_ms=0.5)
+        assert set(result.series) == {
+            "naive-offloading", "coolpim-sw", "coolpim-hw"
+        }
+        for series in result.series.values():
+            assert len(series) >= 1
+            times = [t for t, _r, _T in series]
+            assert times == sorted(times)
+
+    def test_formatting(self):
+        result = fig14_time_series.run("dc", scale=SCALE, sample_ms=0.5)
+        out = fig14_time_series.format_result(result)
+        assert "Time (ms)" in out

@@ -1,0 +1,56 @@
+"""Tables I–IV regeneration."""
+
+from repro.experiments import tables
+
+
+class TestTableI:
+    def test_rows_match_paper(self):
+        rows = {r[0]: (r[1], r[2]) for r in tables.table1_rows()}
+        assert rows["64-byte READ"] == ("1 FLITs", "5 FLITs")
+        assert rows["64-byte WRITE"] == ("5 FLITs", "1 FLITs")
+        assert rows["PIM inst. without return"] == ("2 FLITs", "1 FLITs")
+        assert rows["PIM inst. with return"] == ("2 FLITs", "2 FLITs")
+
+    def test_renders(self):
+        out = tables.table1()
+        assert "FLIT size: 128-bit" in out
+
+
+class TestTableII:
+    def test_four_cooling_rows(self):
+        rows = tables.table2_rows()
+        assert len(rows) == 4
+        by_name = {r[0]: r for r in rows}
+        assert by_name["passive"][1] == 4.0
+        assert by_name["passive"][2] == "0"
+        assert by_name["commodity"][1] == 0.5
+
+    def test_fan_power_column_close_to_paper(self):
+        by_name = {r[0]: r[2] for r in tables.table2_rows()}
+        assert by_name["low-end"] == "1x"
+        assert by_name["commodity"] == "104x"
+        # our fan-law fit gives 369x for the paper's 380x
+        assert by_name["high-end"] in {"369x", "370x", "380x"}
+
+
+class TestTableIII:
+    def test_covers_all_classes(self):
+        types = {r[0] for r in tables.table3_rows()}
+        assert {"Arithmetic", "Bitwise", "Boolean", "Comparison"} <= types
+
+    def test_arithmetic_maps_to_atomicadd(self):
+        row = next(r for r in tables.table3_rows() if r[0] == "Arithmetic")
+        assert "atomicAdd" in row[2]
+
+
+class TestTableIV:
+    def test_key_rows(self):
+        rows = dict(tables.table4_rows())
+        assert "16 PTX SMs" in rows["Host GPU"]
+        assert "32 vaults, 512 DRAM banks" in rows["HMC vaults"]
+        assert "13.75" in rows["DRAM timing"]
+        assert "80 GB/s" in rows["Data bandwidth"]
+
+    def test_all_tables_renders(self):
+        out = tables.all_tables()
+        assert "Table I" in out and "Table IV" in out

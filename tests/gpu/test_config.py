@@ -1,0 +1,48 @@
+"""GPU configuration: Table IV values and derived occupancy."""
+
+import pytest
+
+from repro.gpu.config import GPU_DEFAULT, GpuConfig
+
+
+class TestTableIV:
+    def test_sm_and_warp(self):
+        assert GPU_DEFAULT.num_sms == 16
+        assert GPU_DEFAULT.threads_per_warp == 32
+        assert GPU_DEFAULT.freq_ghz == 1.4
+
+    def test_caches(self):
+        assert GPU_DEFAULT.l1d_kb == 16
+        assert GPU_DEFAULT.l2_kb == 1024
+        assert GPU_DEFAULT.l2_ways == 16
+
+
+class TestDerived:
+    def test_warps_per_block(self):
+        assert GPU_DEFAULT.warps_per_block == 8  # 256 threads / 32
+
+    def test_max_concurrent_blocks(self):
+        # min(8 blocks, 48 warps / 8 warps-per-block = 6) per SM x 16 SMs
+        assert GPU_DEFAULT.max_concurrent_blocks == 96
+
+    def test_max_concurrent_warps(self):
+        assert GPU_DEFAULT.max_concurrent_warps == 96 * 8
+
+    def test_issue_rate(self):
+        assert GPU_DEFAULT.peak_warp_instructions_per_ns == pytest.approx(
+            16 * 2 * 1.4
+        )
+
+
+class TestValidation:
+    def test_block_must_be_warp_multiple(self):
+        with pytest.raises(ValueError):
+            GpuConfig(threads_per_block=100)
+
+    def test_positive_geometry(self):
+        with pytest.raises(ValueError):
+            GpuConfig(num_sms=0)
+
+    def test_atomic_throughput_positive(self):
+        with pytest.raises(ValueError):
+            GpuConfig(host_atomic_ops_per_ns=0.0)

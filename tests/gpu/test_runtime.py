@@ -1,0 +1,67 @@
+"""Discrete GPU runtime: FCFS token launches and thermal interrupts."""
+
+import pytest
+
+from repro.core.token_pool import PimTokenPool
+from repro.gpu.runtime import CodeVersion, GpuRuntime, ThreadBlockManager
+from repro.hmc.packet import ERRSTAT_OK, ERRSTAT_THERMAL_WARNING
+
+
+class TestThreadBlockManager:
+    def test_blocks_get_pim_code_while_tokens_last(self):
+        mgr = ThreadBlockManager(PimTokenPool(size=2))
+        versions = [mgr.launch_block().version for _ in range(4)]
+        assert versions == [
+            CodeVersion.PIM, CodeVersion.PIM,
+            CodeVersion.NON_PIM, CodeVersion.NON_PIM,
+        ]
+
+    def test_completion_returns_token(self):
+        mgr = ThreadBlockManager(PimTokenPool(size=1))
+        rec = mgr.launch_block()
+        assert rec.version is CodeVersion.PIM
+        assert mgr.launch_block().version is CodeVersion.NON_PIM
+        mgr.complete_block(rec.block_id)
+        assert mgr.launch_block().version is CodeVersion.PIM
+
+    def test_non_pim_completion_returns_nothing(self):
+        mgr = ThreadBlockManager(PimTokenPool(size=0))
+        rec = mgr.launch_block()
+        mgr.complete_block(rec.block_id)
+        assert mgr.pool.issued == 0
+
+    def test_in_flight_accounting(self):
+        mgr = ThreadBlockManager(PimTokenPool(size=1))
+        a = mgr.launch_block()
+        mgr.launch_block()
+        assert mgr.in_flight_blocks == 2
+        assert mgr.in_flight_pim_blocks == 1
+        mgr.complete_block(a.block_id)
+        assert mgr.in_flight_blocks == 1
+
+    def test_unknown_completion(self):
+        mgr = ThreadBlockManager(PimTokenPool(size=1))
+        with pytest.raises(KeyError):
+            mgr.complete_block(99)
+
+    def test_completion_timestamps(self):
+        mgr = ThreadBlockManager(PimTokenPool(size=1))
+        rec = mgr.launch_block(now_s=1.0)
+        mgr.complete_block(rec.block_id, now_s=2.5)
+        assert rec.launched_at == 1.0 and rec.completed_at == 2.5
+
+
+class TestGpuRuntime:
+    def test_thermal_errstat_triggers_interrupt(self):
+        mgr = ThreadBlockManager(PimTokenPool(size=20))
+        rt = GpuRuntime(manager=mgr, control_factor=8)
+        mgr.pool.issued = 20
+        fired = rt.on_response_errstat(ERRSTAT_THERMAL_WARNING)
+        assert fired
+        assert rt.interrupts_handled == 1
+        assert mgr.pool.size == 12
+
+    def test_ok_errstat_ignored(self):
+        rt = GpuRuntime(manager=ThreadBlockManager(PimTokenPool(size=4)))
+        assert not rt.on_response_errstat(ERRSTAT_OK)
+        assert rt.manager.pool.size == 4

@@ -1,0 +1,33 @@
+"""Dataset registry."""
+
+import pytest
+
+from repro.graph.datasets import clear_cache, get_dataset, list_datasets
+
+
+class TestDatasets:
+    def test_listing_contains_evaluation_graph(self):
+        names = list_datasets()
+        assert "ldbc" in names and "ldbc-tiny" in names
+
+    def test_instances_are_cached(self):
+        clear_cache()
+        a = get_dataset("ldbc-tiny")
+        b = get_dataset("ldbc-tiny")
+        assert a is b
+
+    def test_clear_cache_rebuilds(self):
+        a = get_dataset("ldbc-tiny")
+        clear_cache()
+        b = get_dataset("ldbc-tiny")
+        assert a is not b
+        assert a.num_edges == b.num_edges  # deterministic regeneration
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(KeyError) as exc:
+            get_dataset("nope")
+        assert "ldbc" in str(exc.value)
+
+    def test_tiny_graphs_are_weighted(self):
+        assert get_dataset("ldbc-tiny").is_weighted
+        assert get_dataset("grid-8x8").is_weighted

@@ -1,0 +1,151 @@
+"""Synthetic graph generators: determinism, shape, degree skew."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    erdos_renyi_graph,
+    grid_graph,
+    ldbc_like_graph,
+    rmat_graph,
+    star_graph,
+)
+
+
+class TestRmat:
+    def test_vertex_count_is_power_of_two(self):
+        g = rmat_graph(8, 4, seed=1)
+        assert g.num_vertices == 256
+
+    def test_deterministic_for_seed(self):
+        a = rmat_graph(7, 4, seed=42)
+        b = rmat_graph(7, 4, seed=42)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.indptr, b.indptr)
+
+    def test_different_seeds_differ(self):
+        a = rmat_graph(7, 4, seed=1)
+        b = rmat_graph(7, 4, seed=2)
+        assert not (
+            a.num_edges == b.num_edges and np.array_equal(a.indices, b.indices)
+        )
+
+    def test_no_self_loops(self):
+        g = rmat_graph(7, 8, seed=3)
+        src = np.repeat(np.arange(g.num_vertices), np.diff(g.indptr))
+        assert not np.any(src == g.indices)
+
+    def test_degree_skew(self):
+        # Power-law-ish: max degree far above mean.
+        g = rmat_graph(10, 8, seed=5)
+        mean, peak = g.degree_stats()
+        assert peak > 5 * mean
+
+    def test_weighted_range(self):
+        g = rmat_graph(6, 4, seed=1, weighted=True)
+        assert g.weights.min() >= 1.0 and g.weights.max() < 64.0
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            rmat_graph(0)
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            rmat_graph(5, a=0.5, b=0.3, c=0.3)
+
+
+class TestLdbcLike:
+    def test_is_symmetric(self):
+        g = ldbc_like_graph(scale=7, edge_factor=4, seed=1)
+        # every edge has its reverse
+        src = np.repeat(np.arange(g.num_vertices), np.diff(g.indptr))
+        fwd = set(zip(src.tolist(), g.indices.tolist()))
+        assert all((d, s) in fwd for s, d in fwd)
+
+    def test_weighted_by_default(self):
+        g = ldbc_like_graph(scale=6, edge_factor=4)
+        assert g.is_weighted
+
+
+class TestErdosRenyi:
+    def test_average_degree_close_to_target(self):
+        g = erdos_renyi_graph(2000, 10.0, seed=1)
+        mean, _ = g.degree_stats()
+        assert 8.0 < mean < 10.5  # dedup/self-loop removal trims a little
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(0, 4.0)
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(10, -1.0)
+
+
+class TestGrid:
+    def test_interior_vertex_has_four_neighbors(self):
+        g = grid_graph(5, 5)
+        assert g.out_degree(12) == 4  # centre of a 5x5 grid
+
+    def test_corner_has_two(self):
+        g = grid_graph(3, 3)
+        assert g.out_degree(0) == 2
+
+    def test_edge_count(self):
+        # 4-neighbour grid: 2*rows*cols*2 - 2*(rows+cols) directed edges.
+        rows, cols = 4, 6
+        g = grid_graph(rows, cols)
+        expected = 2 * (rows * (cols - 1) + cols * (rows - 1))
+        assert g.num_edges == expected
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            grid_graph(0, 3)
+
+
+class TestStar:
+    def test_hub_degree(self):
+        g = star_graph(10)
+        assert g.out_degree(0) == 10
+        assert g.out_degree(5) == 1
+
+    def test_negative_leaves(self):
+        with pytest.raises(ValueError):
+            star_graph(-1)
+
+
+class TestRoadLike:
+    def test_long_diameter_small_frontiers(self):
+        from repro.graph.generators import road_like_graph
+        import numpy as np
+
+        g = road_like_graph(40, 40, extra_edge_fraction=0.0, seed=1)
+        from repro.workloads.bfs import bfs_depths
+
+        depth = bfs_depths(g, 0)
+        assert depth.max() == 78  # corner-to-corner manhattan distance
+
+    def test_shortcuts_shrink_diameter(self):
+        from repro.graph.generators import road_like_graph
+        from repro.workloads.bfs import bfs_depths
+
+        pure = road_like_graph(40, 40, extra_edge_fraction=0.0, seed=1)
+        wired = road_like_graph(40, 40, extra_edge_fraction=0.05, seed=1)
+        assert bfs_depths(wired, 0).max() < bfs_depths(pure, 0).max()
+
+    def test_near_constant_degree(self):
+        from repro.graph.generators import road_like_graph
+
+        g = road_like_graph(30, 30, extra_edge_fraction=0.001, seed=2)
+        mean, peak = g.degree_stats()
+        assert peak <= 8  # grid degree 4 plus a few shortcuts
+
+    def test_weighted_by_default(self):
+        from repro.graph.generators import road_like_graph
+
+        assert road_like_graph(10, 10).is_weighted
+
+    def test_fraction_validation(self):
+        from repro.graph.generators import road_like_graph
+        import pytest
+
+        with pytest.raises(ValueError):
+            road_like_graph(10, 10, extra_edge_fraction=1.5)

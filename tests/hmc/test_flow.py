@@ -1,0 +1,129 @@
+"""Flow model: bottleneck service times, derating, traffic accounting."""
+
+import pytest
+
+from repro.hmc.config import HMC_2_0
+from repro.hmc.dram_timing import TemperaturePhase
+from repro.hmc.flow import HmcFlowModel, TrafficDemand
+
+
+@pytest.fixture
+def flow():
+    return HmcFlowModel(HMC_2_0)
+
+
+class TestTrafficDemand:
+    def test_flit_accounting_matches_table1(self):
+        d = TrafficDemand(reads=1, writes=1, host_atomics=1, pim_ops=1,
+                          pim_ops_ret=1)
+        # req: read 1 + write 5 + host (1+5) + pim 2 + pim_ret 2
+        assert d.request_flits() == 1 + 5 + 6 + 2 + 2
+        # rsp: read 5 + write 1 + host (5+1) + pim 1 + pim_ret 2
+        assert d.response_flits() == 5 + 1 + 6 + 1 + 2
+
+    def test_internal_bytes(self):
+        d = TrafficDemand(reads=2, writes=1, host_atomics=1, pim_ops=3)
+        # (2+1+2)*64 external-backed + 3*32 PIM internal
+        assert d.internal_dram_bytes() == 5 * 64 + 96
+
+    def test_external_payload(self):
+        d = TrafficDemand(reads=1, writes=1, host_atomics=1, pim_ops_ret=2)
+        assert d.external_data_bytes() == 64 * 4 + 32
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficDemand(reads=-1)
+
+
+class TestServiceTime:
+    def test_balanced_mix_reaches_peak_data_bandwidth(self, flow):
+        # Equal reads/writes: req and rsp lanes both at 96 B per 128 B of
+        # payload -> 320 GB/s peak (Sec. III-B).
+        n = 100_000
+        d = TrafficDemand(reads=n, writes=n)
+        t = flow.service_time_ns(d)
+        data_rate = d.external_data_bytes() / t
+        assert data_rate == pytest.approx(320.0, rel=0.01)
+
+    def test_read_only_is_response_lane_bound(self, flow):
+        n = 10_000
+        t = flow.service_time_ns(TrafficDemand(reads=n))
+        # rsp lane: 80 B per read at 240 GB/s
+        assert t == pytest.approx(n * 80 / 240.0, rel=0.01)
+
+    def test_empty_demand_is_instant(self, flow):
+        assert flow.service_time_ns(TrafficDemand()) == 0.0
+
+    def test_links_bound_at_normal_phase(self, flow):
+        # DRAM nominal capacity exceeds the link ceiling (Sec. III-B).
+        assert flow.dram_capacity_gbs() > 320.0
+
+    def test_pim_heavy_demand_hits_fu_bound_eventually(self):
+        flow = HmcFlowModel(HMC_2_0, fu_rate_per_vault_gops=0.001)
+        d = TrafficDemand(pim_ops=10_000)
+        t = flow.service_time_ns(d)
+        assert t == pytest.approx(10_000 / (32 * 0.001))
+
+
+class TestDerating:
+    def test_normal_phase_no_derating(self, flow):
+        flow.update_phase(70.0)
+        assert flow.derating() == pytest.approx(1.0)
+
+    def test_extended_phase_derates(self, flow):
+        flow.update_phase(90.0)
+        d = flow.derating()
+        assert 0.70 < d < 0.80  # 0.8 freq x refresh factor
+
+    def test_critical_phase_derates_more(self, flow):
+        flow.update_phase(100.0)
+        assert flow.derating() < 0.60
+
+    def test_service_time_scales_inversely(self, flow):
+        d = TrafficDemand(reads=1000, writes=1000)
+        t_cool = flow.service_time_ns(d)
+        flow.update_phase(90.0)
+        t_hot = flow.service_time_ns(d)
+        assert t_hot == pytest.approx(t_cool / flow.derating())
+
+    def test_shutdown_raises(self, flow):
+        flow.update_phase(110.0)
+        assert flow.is_shutdown
+        with pytest.raises(RuntimeError):
+            flow.service_time_ns(TrafficDemand(reads=1))
+
+
+class TestRatesAndRecording:
+    def test_traffic_rates_payload_equivalence(self, flow):
+        # Balanced full-bandwidth mix: payload-equivalent external == 320.
+        n = 100_000
+        d = TrafficDemand(reads=n, writes=n)
+        t = flow.service_time_ns(d)
+        ext, internal, pim = flow.traffic_rates(d, t)
+        assert ext == pytest.approx(320.0, rel=0.01)
+        assert internal == pytest.approx(320.0, rel=0.01)
+        assert pim == 0.0
+
+    def test_pim_rate(self, flow):
+        d = TrafficDemand(pim_ops=1300)
+        ext, internal, pim = flow.traffic_rates(d, 1000.0)
+        assert pim == pytest.approx(1.3)
+
+    def test_zero_elapsed(self, flow):
+        assert flow.traffic_rates(TrafficDemand(reads=1), 0.0) == (0, 0, 0)
+
+    def test_record_accumulates_ledger(self, flow):
+        d = TrafficDemand(reads=2, writes=1, host_atomics=1, pim_ops=3)
+        flow.record(d, 100.0)
+        from repro.hmc.packet import PacketType
+
+        led = flow.stats.ledger
+        assert led.transactions[PacketType.READ64] == 3  # reads + host atomic
+        assert led.transactions[PacketType.WRITE64] == 2
+        assert led.transactions[PacketType.PIM] == 3
+        assert flow.stats.pim_ops == 3
+        assert flow.stats.host_atomics == 1
+
+    def test_warning_flag(self, flow):
+        flow.set_thermal_warning(True)
+        assert flow.thermal_warning

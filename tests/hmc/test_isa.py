@@ -1,0 +1,129 @@
+"""PIM ISA semantics: opcode metadata, functional execution, wrapping."""
+
+import pytest
+
+from repro.hmc.isa import (
+    OPCODE_INFO,
+    PimInstruction,
+    PimOpClass,
+    PimOpcode,
+    decode_operand,
+    encode_operand,
+    execute_semantics,
+    is_float_op,
+)
+
+
+def run_op(opcode, old, imm, nbytes=4, compare=0.0):
+    inst = PimInstruction(opcode, address=0, immediate=imm,
+                          operand_bytes=nbytes, compare=compare)
+    return execute_semantics(old, inst)
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert run_op(PimOpcode.ADD_IMM, 5, 7) == (12, True)
+
+    def test_add_negative(self):
+        assert run_op(PimOpcode.ADD_IMM, 5, -9) == (-4, True)
+
+    def test_add_wraps_at_32_bits(self):
+        new, flag = run_op(PimOpcode.ADD_IMM, 2**31 - 1, 1)
+        assert new == -(2**31) and flag
+
+    def test_add_wraps_at_64_bits(self):
+        new, _ = run_op(PimOpcode.ADD_IMM, 2**63 - 1, 1, nbytes=8)
+        assert new == -(2**63)
+
+    def test_add_ret_same_semantics(self):
+        assert run_op(PimOpcode.ADD_IMM_RET, 1, 2) == (3, True)
+
+
+class TestBitwiseBoolean:
+    def test_swap_replaces(self):
+        assert run_op(PimOpcode.SWAP, 99, 7) == (7, True)
+
+    def test_bit_write_sets_bits(self):
+        assert run_op(PimOpcode.BIT_WRITE, 0b1000, 0b0011) == (0b1011, True)
+
+    def test_and(self):
+        assert run_op(PimOpcode.AND_IMM, 0b1100, 0b0110) == (0b0100, True)
+
+    def test_or(self):
+        assert run_op(PimOpcode.OR_IMM, 0b1100, 0b0110) == (0b1110, True)
+
+
+class TestComparison:
+    def test_cas_equal_hit(self):
+        assert run_op(PimOpcode.CAS_EQUAL, 5, 42, compare=5) == (42, True)
+
+    def test_cas_equal_miss(self):
+        assert run_op(PimOpcode.CAS_EQUAL, 6, 42, compare=5) == (6, False)
+
+    def test_cas_greater(self):
+        assert run_op(PimOpcode.CAS_GREATER, 10, 20) == (20, True)
+        assert run_op(PimOpcode.CAS_GREATER, 10, 5) == (10, False)
+
+    def test_cas_less(self):
+        assert run_op(PimOpcode.CAS_LESS, 10, 5) == (5, True)
+        assert run_op(PimOpcode.CAS_LESS, 10, 20) == (10, False)
+
+
+class TestFloating:
+    def test_fp_add(self):
+        new, flag = run_op(PimOpcode.FP_ADD_IMM, 1.5, 2.25)
+        assert new == pytest.approx(3.75) and flag
+
+    def test_fp_min(self):
+        assert run_op(PimOpcode.FP_MIN, 3.0, 1.5) == (1.5, True)
+        assert run_op(PimOpcode.FP_MIN, 1.0, 1.5) == (1.0, False)
+
+
+class TestMetadata:
+    def test_every_opcode_has_info(self):
+        for opcode in PimOpcode:
+            assert opcode in OPCODE_INFO
+
+    def test_return_variants(self):
+        assert PimInstruction(PimOpcode.ADD_IMM_RET, 0, 1).has_return
+        assert not PimInstruction(PimOpcode.ADD_IMM, 0, 1).has_return
+        assert PimInstruction(PimOpcode.CAS_GREATER, 0, 1).has_return
+
+    def test_op_class(self):
+        assert PimInstruction(PimOpcode.SWAP, 0, 1).op_class is PimOpClass.BITWISE
+
+    def test_float_detection(self):
+        assert is_float_op(PimOpcode.FP_MIN)
+        assert not is_float_op(PimOpcode.ADD_IMM)
+
+    def test_operand_width_validation(self):
+        with pytest.raises(ValueError):
+            PimInstruction(PimOpcode.ADD_IMM, 0, 1, operand_bytes=2)
+
+    def test_negative_address(self):
+        with pytest.raises(ValueError):
+            PimInstruction(PimOpcode.ADD_IMM, -4, 1)
+
+
+class TestEncoding:
+    @pytest.mark.parametrize("value,nbytes", [(0, 4), (-1, 4), (123456, 4),
+                                              (-(2**31), 4), (2**40, 8)])
+    def test_int_roundtrip(self, value, nbytes):
+        raw = encode_operand(value, PimOpcode.ADD_IMM, nbytes)
+        assert len(raw) == nbytes
+        # values wrap into range, then survive the roundtrip
+        decoded = decode_operand(raw, PimOpcode.ADD_IMM, nbytes)
+        raw2 = encode_operand(decoded, PimOpcode.ADD_IMM, nbytes)
+        assert raw == raw2
+
+    def test_float_roundtrip(self):
+        raw = encode_operand(1.25, PimOpcode.FP_ADD_IMM, 8)
+        assert decode_operand(raw, PimOpcode.FP_ADD_IMM, 8) == 1.25
+
+    def test_float32_precision(self):
+        raw = encode_operand(0.1, PimOpcode.FP_ADD_IMM, 4)
+        assert decode_operand(raw, PimOpcode.FP_ADD_IMM, 4) == pytest.approx(0.1)
+
+    def test_decode_length_check(self):
+        with pytest.raises(ValueError):
+            decode_operand(b"\x00" * 3, PimOpcode.ADD_IMM, 4)

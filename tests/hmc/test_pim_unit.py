@@ -1,0 +1,59 @@
+"""PIM functional unit: latency classes, energy accounting, stats."""
+
+import pytest
+
+from repro.hmc.isa import PimInstruction, PimOpcode
+from repro.hmc.memory import BackingStore
+from repro.hmc.pim_unit import FU_WIDTH_BITS, PimUnit
+
+
+class TestLatency:
+    def test_integer_ops_single_ns(self):
+        fu = PimUnit()
+        for op in (PimOpcode.ADD_IMM, PimOpcode.SWAP, PimOpcode.AND_IMM,
+                   PimOpcode.CAS_GREATER):
+            assert fu.latency_ns(PimInstruction(op, 0, 1)) == 1.0
+
+    def test_float_ops_slower(self):
+        fu = PimUnit()
+        assert fu.latency_ns(PimInstruction(PimOpcode.FP_ADD_IMM, 0, 1.0)) > 1.0
+
+
+class TestEnergy:
+    def test_per_op_energy_is_width_times_bit_energy(self):
+        fu = PimUnit(energy_per_bit_j=2e-12)
+        assert fu.energy_j_per_op() == pytest.approx(2e-12 * FU_WIDTH_BITS)
+
+    def test_energy_accumulates(self):
+        fu = PimUnit(energy_per_bit_j=1e-12)
+        store = BackingStore(1 << 12)
+        inst = PimInstruction(PimOpcode.ADD_IMM, 0, 1)
+        for _ in range(10):
+            fu.execute(inst, store)
+        assert fu.stats.energy_j == pytest.approx(10 * fu.energy_j_per_op())
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ValueError):
+            PimUnit(energy_per_bit_j=-1.0)
+
+
+class TestExecution:
+    def test_failed_atomics_counted(self):
+        fu = PimUnit()
+        store = BackingStore(1 << 12)
+        # CAS-greater with immediate 0 on zeroed memory fails (0 > 0 false).
+        inst = PimInstruction(PimOpcode.CAS_GREATER, 0, 0)
+        _old, flag = fu.execute(inst, store)
+        assert not flag
+        assert fu.stats.failed_atomics == 1
+
+    def test_return_ops_counted(self):
+        fu = PimUnit()
+        store = BackingStore(1 << 12)
+        fu.execute(PimInstruction(PimOpcode.ADD_IMM_RET, 0, 1), store)
+        fu.execute(PimInstruction(PimOpcode.ADD_IMM, 0, 1), store)
+        assert fu.stats.ops == 2
+        assert fu.stats.ops_with_return == 1
+
+    def test_fu_width_is_128(self):
+        assert FU_WIDTH_BITS == 128

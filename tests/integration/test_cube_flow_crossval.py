@@ -1,0 +1,97 @@
+"""Cross-validation: event-level cube vs flow model.
+
+The flow model's bottleneck arithmetic must agree with the event-level
+cube's emergent throughput when the cube's resources are well balanced.
+These tests drive identical transaction mixes through both and compare
+bulk service times.
+
+A known, deliberate divergence: deterministic round-robin link striping
+interacts pathologically with strictly alternating read/write issue (all
+reads land on two links, all writes on the other two, halving effective
+per-direction bandwidth). The flow model assumes balanced striping, so
+the cross-validation issues in randomized order — and one test documents
+the pathological case.
+"""
+
+import random
+
+import pytest
+
+from repro.hmc.config import HMC_2_0
+from repro.hmc.cube import HmcCube
+from repro.hmc.flow import HmcFlowModel, TrafficDemand
+from repro.hmc.isa import PimInstruction, PimOpcode
+from repro.hmc.packet import PacketType, Request
+
+N = 2000
+
+
+def drive_cube(transactions):
+    cube = HmcCube(HMC_2_0)
+    last = 0.0
+    for ptype, addr in transactions:
+        if ptype is PacketType.WRITE64:
+            rsp = cube.submit(Request(ptype, address=addr), 0.0,
+                              payload=b"\0" * 64)
+        elif ptype is PacketType.PIM:
+            inst = PimInstruction(PimOpcode.ADD_IMM, address=addr, immediate=1)
+            rsp = cube.submit(Request(ptype, address=addr, pim=inst), 0.0)
+        else:
+            rsp = cube.submit(Request(ptype, address=addr), 0.0)
+        last = max(last, rsp.complete_time_ns)
+    return last
+
+
+class TestAgreement:
+    def test_balanced_read_write_mix(self):
+        txns = [(PacketType.READ64, i * 32) for i in range(N)] + [
+            (PacketType.WRITE64, (1 << 22) + i * 32) for i in range(N)
+        ]
+        random.Random(7).shuffle(txns)
+        t_cube = drive_cube(txns)
+        t_flow = HmcFlowModel(HMC_2_0).service_time_ns(
+            TrafficDemand(reads=N, writes=N)
+        )
+        assert t_cube == pytest.approx(t_flow, rel=0.25)
+
+    def test_pure_pim_mix(self):
+        txns = [(PacketType.PIM, i * 32) for i in range(N)]
+        t_cube = drive_cube(txns)
+        t_flow = HmcFlowModel(HMC_2_0).service_time_ns(
+            TrafficDemand(pim_ops=N)
+        )
+        assert t_cube == pytest.approx(t_flow, rel=0.25)
+
+    def test_read_only_mix(self):
+        txns = [(PacketType.READ64, i * 32) for i in range(N)]
+        t_cube = drive_cube(txns)
+        t_flow = HmcFlowModel(HMC_2_0).service_time_ns(TrafficDemand(reads=N))
+        assert t_cube == pytest.approx(t_flow, rel=0.25)
+
+    def test_mixed_pim_and_reads(self):
+        txns = [(PacketType.READ64, i * 32) for i in range(N)] + [
+            (PacketType.PIM, (1 << 22) + i * 32) for i in range(N)
+        ]
+        random.Random(3).shuffle(txns)
+        t_cube = drive_cube(txns)
+        t_flow = HmcFlowModel(HMC_2_0).service_time_ns(
+            TrafficDemand(reads=N, pim_ops=N)
+        )
+        assert t_cube == pytest.approx(t_flow, rel=0.25)
+
+
+class TestKnownDivergence:
+    def test_alternating_issue_defeats_round_robin_striping(self):
+        """Strict read/write alternation phase-locks with the 4-link
+        round-robin: reads mono-polize two links' response lanes while
+        writes monopolize the other two's request lanes — the cube runs
+        ~1.7x slower than the balanced-striping flow estimate."""
+        txns = []
+        for i in range(N):
+            txns.append((PacketType.READ64, i * 32))
+            txns.append((PacketType.WRITE64, (1 << 22) + i * 32))
+        t_cube = drive_cube(txns)
+        t_flow = HmcFlowModel(HMC_2_0).service_time_ns(
+            TrafficDemand(reads=N, writes=N)
+        )
+        assert t_cube > 1.4 * t_flow

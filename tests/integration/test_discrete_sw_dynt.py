@@ -1,0 +1,97 @@
+"""Discrete SW-DynT end to end: cube ERRSTAT → interrupt → token pool.
+
+The fluid simulator models SW-DynT's effect as a fraction; this test
+exercises the *discrete* mechanism the paper describes (Fig. 7) against
+the event-level cube: response packets carry the thermal warning bit, the
+GPU runtime's interrupt handler shrinks the PIM token pool, and
+subsequently launched CUDA blocks fall back to the shadow non-PIM code.
+"""
+
+import pytest
+
+from repro.core.token_pool import PimTokenPool
+from repro.gpu.runtime import CodeVersion, GpuRuntime, ThreadBlockManager
+from repro.hmc.config import HMC_2_0
+from repro.hmc.cube import HmcCube
+from repro.hmc.isa import PimInstruction, PimOpcode
+from repro.hmc.packet import PacketType, Request
+
+
+class TestDiscreteLoop:
+    def _system(self, pool_size=8, cf=4):
+        cube = HmcCube(HMC_2_0)
+        manager = ThreadBlockManager(PimTokenPool(size=pool_size))
+        runtime = GpuRuntime(manager=manager, control_factor=cf)
+        return cube, manager, runtime
+
+    def _run_block(self, cube, manager, runtime, now, atomics=4):
+        """Launch a block, issue its memory traffic, complete it.
+
+        Returns the block record and whether a thermal interrupt fired.
+        """
+        rec = manager.launch_block(now_s=now)
+        interrupted = False
+        for i in range(atomics):
+            addr = (rec.block_id * 64 + i) * 32
+            if rec.version is CodeVersion.PIM:
+                inst = PimInstruction(PimOpcode.ADD_IMM, address=addr,
+                                      immediate=1)
+                rsp = cube.submit(
+                    Request(PacketType.PIM, address=addr, pim=inst), now * 1e9
+                )
+            else:
+                rsp = cube.submit(
+                    Request(PacketType.READ64, address=addr), now * 1e9
+                )
+            if runtime.on_response_errstat(rsp.errstat, now_s=now):
+                interrupted = True
+        manager.complete_block(rec.block_id, now_s=now)
+        return rec, interrupted
+
+    def test_cool_cube_never_interrupts(self):
+        cube, manager, runtime = self._system()
+        for i in range(10):
+            _rec, interrupted = self._run_block(cube, manager, runtime, i * 1e-3)
+            assert not interrupted
+        assert manager.pool.size == 8
+
+    def test_warning_shrinks_pool_and_switches_code_version(self):
+        cube, manager, runtime = self._system(pool_size=4, cf=2)
+
+        # Phase 1: cool — every block gets the PIM entry point.
+        rec, _ = self._run_block(cube, manager, runtime, 0.0)
+        assert rec.version is CodeVersion.PIM
+
+        # Phase 2: the cube overheats; ERRSTAT starts carrying 0x01.
+        cube.set_thermal_warning(True)
+        _rec, interrupted = self._run_block(cube, manager, runtime, 1e-3)
+        assert interrupted
+        assert manager.pool.size < 4
+
+        # Keep handling warnings until the pool is exhausted.
+        for i in range(6):
+            self._run_block(cube, manager, runtime, (2 + i) * 1e-3)
+        assert manager.pool.size == 0
+
+        # Phase 3: cube cooled — but the pool only down-tunes, so new
+        # blocks run the shadow non-PIM kernel from here on.
+        cube.set_thermal_warning(False)
+        rec, _ = self._run_block(cube, manager, runtime, 20e-3)
+        assert rec.version is CodeVersion.NON_PIM
+
+    def test_pim_traffic_actually_stops_after_throttling(self):
+        cube, manager, runtime = self._system(pool_size=2, cf=2)
+        cube.set_thermal_warning(True)
+        for i in range(8):
+            self._run_block(cube, manager, runtime, i * 1e-3)
+        pim_before = cube.total_pim_ops()
+        cube.set_thermal_warning(False)
+        for i in range(4):
+            self._run_block(cube, manager, runtime, (10 + i) * 1e-3)
+        assert cube.total_pim_ops() == pim_before  # no PIM issued anymore
+
+    def test_interrupt_count_matches_warned_responses_handled(self):
+        cube, manager, runtime = self._system(pool_size=100, cf=1)
+        cube.set_thermal_warning(True)
+        _rec, _ = self._run_block(cube, manager, runtime, 0.0, atomics=5)
+        assert runtime.interrupts_handled == 5

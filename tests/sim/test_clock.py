@@ -1,0 +1,43 @@
+"""Clock: conversions and frequency derating."""
+
+import pytest
+
+from repro.sim.clock import Clock
+
+
+class TestClock:
+    def test_period_is_inverse_frequency(self):
+        clk = Clock(2.0)
+        assert clk.period_ns == pytest.approx(0.5)
+
+    def test_cycles_roundtrip(self):
+        clk = Clock(1.4)
+        ns = clk.cycles_to_ns(1400)
+        assert ns == pytest.approx(1000.0)
+        assert clk.ns_to_cycles(ns) == pytest.approx(1400)
+
+    def test_derating_stretches_period(self):
+        clk = Clock(1.0)
+        clk.set_scale(0.8)
+        assert clk.effective_ghz == pytest.approx(0.8)
+        assert clk.period_ns == pytest.approx(1.25)
+        assert clk.nominal_ghz == 1.0
+
+    def test_scale_bounds(self):
+        clk = Clock(1.0)
+        with pytest.raises(ValueError):
+            clk.set_scale(0.0)
+        with pytest.raises(ValueError):
+            clk.set_scale(1.5)
+        clk.set_scale(1.0)  # boundary ok
+
+    def test_ceil_cycles_rounds_up(self):
+        clk = Clock(1.0)
+        assert clk.ceil_cycles(2.5) == 3
+        assert clk.ceil_cycles(3.0) == 3
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ValueError):
+            Clock(0.0)
+        with pytest.raises(ValueError):
+            Clock(-1.0)

@@ -1,0 +1,159 @@
+"""Event engine: ordering, cancellation, run-until, tickers."""
+
+import pytest
+
+from repro.sim.engine import Event, EventEngine, Ticker
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        eng = EventEngine()
+        out = []
+        eng.schedule(5.0, lambda: out.append("late"))
+        eng.schedule(1.0, lambda: out.append("early"))
+        eng.schedule(3.0, lambda: out.append("mid"))
+        eng.run()
+        assert out == ["early", "mid", "late"]
+
+    def test_fifo_among_simultaneous_events(self):
+        eng = EventEngine()
+        out = []
+        for i in range(10):
+            eng.schedule(2.0, lambda i=i: out.append(i))
+        eng.run()
+        assert out == list(range(10))
+
+    def test_priority_breaks_ties(self):
+        eng = EventEngine()
+        out = []
+        eng.schedule(1.0, lambda: out.append("low"), priority=5)
+        eng.schedule(1.0, lambda: out.append("high"), priority=0)
+        eng.run()
+        assert out == ["high", "low"]
+
+    def test_now_advances_to_event_time(self):
+        eng = EventEngine()
+        seen = []
+        eng.schedule(7.5, lambda: seen.append(eng.now))
+        eng.run()
+        assert seen == [7.5]
+        assert eng.now == 7.5
+
+    def test_schedule_in_past_raises(self):
+        eng = EventEngine()
+        eng.schedule(5.0, lambda: None)
+        eng.run()
+        with pytest.raises(ValueError):
+            eng.schedule(1.0, lambda: None)
+
+    def test_schedule_after_uses_relative_delay(self):
+        eng = EventEngine()
+        times = []
+        eng.schedule(2.0, lambda: eng.schedule_after(3.0, lambda: times.append(eng.now)))
+        eng.run()
+        assert times == [5.0]
+
+    def test_negative_delay_raises(self):
+        eng = EventEngine()
+        with pytest.raises(ValueError):
+            eng.schedule_after(-1.0, lambda: None)
+
+    def test_events_scheduled_during_run_execute(self):
+        eng = EventEngine()
+        out = []
+        def chain(n):
+            out.append(n)
+            if n < 5:
+                eng.schedule_after(1.0, lambda: chain(n + 1))
+        eng.schedule(0.0, lambda: chain(0))
+        eng.run()
+        assert out == [0, 1, 2, 3, 4, 5]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        eng = EventEngine()
+        out = []
+        ev = eng.schedule(1.0, lambda: out.append("x"))
+        ev.cancel()
+        eng.run()
+        assert out == []
+
+    def test_len_excludes_cancelled(self):
+        eng = EventEngine()
+        ev1 = eng.schedule(1.0, lambda: None)
+        eng.schedule(2.0, lambda: None)
+        assert len(eng) == 2
+        ev1.cancel()
+        assert len(eng) == 1
+
+    def test_peek_time_skips_cancelled(self):
+        eng = EventEngine()
+        ev = eng.schedule(1.0, lambda: None)
+        eng.schedule(4.0, lambda: None)
+        ev.cancel()
+        assert eng.peek_time() == 4.0
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self):
+        eng = EventEngine()
+        out = []
+        eng.schedule(1.0, lambda: out.append(1))
+        eng.schedule(10.0, lambda: out.append(10))
+        count = eng.run(until=5.0)
+        assert count == 1 and out == [1]
+        assert eng.now == 5.0
+
+    def test_run_until_advances_clock_even_with_no_events(self):
+        eng = EventEngine()
+        eng.run(until=42.0)
+        assert eng.now == 42.0
+
+    def test_max_events_bound(self):
+        eng = EventEngine()
+        out = []
+        for i in range(5):
+            eng.schedule(float(i), lambda i=i: out.append(i))
+        assert eng.run(max_events=3) == 3
+        assert out == [0, 1, 2]
+
+    def test_step_returns_false_on_empty(self):
+        eng = EventEngine()
+        assert eng.step() is False
+
+    def test_reset_clears_state(self):
+        eng = EventEngine()
+        eng.schedule(1.0, lambda: None)
+        eng.run()
+        eng.reset()
+        assert eng.now == 0.0 and len(eng) == 0
+
+
+class TestTicker:
+    def test_fires_at_fixed_period(self):
+        eng = EventEngine()
+        times = []
+        Ticker(eng, period=2.0, callback=times.append)
+        eng.run(until=9.0)
+        assert times == [2.0, 4.0, 6.0, 8.0]
+
+    def test_stop_halts_firings(self):
+        eng = EventEngine()
+        times = []
+        ticker = Ticker(eng, period=1.0, callback=times.append)
+        eng.run(until=3.5)
+        ticker.stop()
+        eng.run(until=10.0)
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_invalid_period_raises(self):
+        with pytest.raises(ValueError):
+            Ticker(EventEngine(), period=0.0, callback=lambda t: None)
+
+    def test_explicit_start_time(self):
+        eng = EventEngine()
+        times = []
+        Ticker(eng, period=5.0, callback=times.append, start=1.0)
+        eng.run(until=12.0)
+        assert times == [1.0, 6.0, 11.0]

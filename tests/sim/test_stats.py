@@ -1,0 +1,146 @@
+"""Statistics: counters, running means, time-weighted stats, histograms."""
+
+import math
+
+import pytest
+
+from repro.sim.stats import (
+    Counter,
+    Histogram,
+    RunningMean,
+    StatRegistry,
+    TimeWeightedStat,
+)
+
+
+class TestCounter:
+    def test_accumulates(self):
+        c = Counter("x")
+        c.add()
+        c.add(4.0)
+        assert c.value == 5.0
+
+    def test_reset(self):
+        c = Counter()
+        c.add(3)
+        c.reset()
+        assert c.value == 0.0
+
+
+class TestRunningMean:
+    def test_mean_and_extremes(self):
+        rm = RunningMean()
+        for x in [1.0, 2.0, 3.0, 4.0]:
+            rm.add(x)
+        assert rm.mean == pytest.approx(2.5)
+        assert rm.min == 1.0 and rm.max == 4.0
+
+    def test_variance_matches_sample_variance(self):
+        rm = RunningMean()
+        data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        for x in data:
+            rm.add(x)
+        mean = sum(data) / len(data)
+        var = sum((x - mean) ** 2 for x in data) / (len(data) - 1)
+        assert rm.variance == pytest.approx(var)
+        assert rm.stddev == pytest.approx(math.sqrt(var))
+
+    def test_empty_mean_is_zero(self):
+        assert RunningMean().mean == 0.0
+        assert RunningMean().variance == 0.0
+
+
+class TestTimeWeighted:
+    def test_weights_levels_by_duration(self):
+        tw = TimeWeightedStat(initial=10.0, start_time=0.0)
+        tw.update(20.0, now=1.0)   # 10 held for 1s
+        tw.update(0.0, now=4.0)    # 20 held for 3s
+        # mean over [0,4] = (10*1 + 20*3)/4 = 17.5
+        assert tw.mean() == pytest.approx(17.5)
+
+    def test_mean_extends_to_query_time(self):
+        tw = TimeWeightedStat(initial=2.0)
+        tw.update(4.0, now=2.0)
+        assert tw.mean(now=4.0) == pytest.approx((2 * 2 + 4 * 2) / 4)
+
+    def test_rejects_time_travel(self):
+        tw = TimeWeightedStat()
+        tw.update(1.0, now=5.0)
+        with pytest.raises(ValueError):
+            tw.update(2.0, now=4.0)
+        with pytest.raises(ValueError):
+            tw.mean(now=1.0)
+
+    def test_tracks_extremes(self):
+        tw = TimeWeightedStat(initial=5.0)
+        tw.update(9.0, now=1.0)
+        tw.update(-1.0, now=2.0)
+        assert tw.min == -1.0 and tw.max == 9.0
+
+
+class TestHistogram:
+    def test_bin_placement(self):
+        h = Histogram("h", lo=0.0, hi=10.0, nbins=10)
+        for x in [0.5, 1.5, 9.9]:
+            h.add(x)
+        assert h.bins[0] == 1 and h.bins[1] == 1 and h.bins[9] == 1
+
+    def test_under_and_overflow(self):
+        h = Histogram("h", 0.0, 1.0, 4)
+        h.add(-0.1)
+        h.add(1.0)  # hi is exclusive
+        assert h.underflow == 1 and h.overflow == 1
+
+    def test_mean(self):
+        h = Histogram("h", 0.0, 10.0, 5)
+        h.add(2.0)
+        h.add(4.0)
+        assert h.mean == pytest.approx(3.0)
+
+    def test_bin_edges(self):
+        h = Histogram("h", 0.0, 1.0, 2)
+        assert h.bin_edges() == pytest.approx([0.0, 0.5, 1.0])
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ValueError):
+            Histogram("h", 1.0, 1.0, 4)
+        with pytest.raises(ValueError):
+            Histogram("h", 0.0, 1.0, 0)
+
+
+class TestRegistry:
+    def test_scoped_prefixing(self):
+        reg = StatRegistry()
+        vault = reg.scoped("hmc").scoped("vault0")
+        c = vault.counter("reads")
+        c.add(3)
+        assert reg.get("hmc.vault0.reads") is c
+
+    def test_get_or_create_idempotent(self):
+        reg = StatRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_type_conflict_raises(self):
+        reg = StatRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.running_mean("x")
+        with pytest.raises(TypeError):
+            reg.time_weighted("x")
+        with pytest.raises(TypeError):
+            reg.histogram("x", 0, 1, 2)
+
+    def test_snapshot_flattens_scalars(self):
+        reg = StatRegistry()
+        reg.counter("c").add(2)
+        reg.running_mean("m").add(4.0)
+        snap = reg.snapshot()
+        assert snap == {"c": 2.0, "m": 4.0}
+
+    def test_items_filters_by_scope(self):
+        reg = StatRegistry()
+        reg.counter("top")
+        sub = reg.scoped("sub")
+        sub.counter("inner")
+        names = [k for k, _ in sub.items()]
+        assert names == ["sub.inner"]

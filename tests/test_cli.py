@@ -1,0 +1,70 @@
+"""CLI: argument parsing and command dispatch."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "pagerank"])
+        assert args.policy == "coolpim-hw"
+        assert args.dataset == "ldbc"
+        assert args.cooling == "commodity"
+
+    def test_run_rejects_bad_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "pagerank", "--policy", "nope"])
+
+    def test_experiments_flags(self):
+        args = build_parser().parse_args(
+            ["experiments", "--quick", "--only", "fig5"]
+        )
+        assert args.quick and args.only == "fig5"
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestDispatch:
+    def test_list_runs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "pagerank" in out and "coolpim-hw" in out
+
+    def test_run_small(self, capsys):
+        rc = main(["run", "kcore", "--dataset", "ldbc-tiny",
+                   "--policy", "non-offloading"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "peak DRAM temp" in out
+
+    def test_compare_small(self, capsys):
+        rc = main(["compare", "dc", "--dataset", "ldbc-tiny"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ideal-thermal" in out
+
+    def test_experiments_delegates(self, capsys):
+        rc = main(["experiments", "--only", "tables"])
+        assert rc == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_experiments_unknown_id(self, capsys):
+        assert main(["experiments", "--only", "nope"]) == 2
+
+
+class TestRunnerArtifacts:
+    def test_out_dir_written(self, tmp_path, capsys):
+        from repro.experiments import runner
+
+        rc = runner.main(["--only", "tables,fig5", "--out", str(tmp_path)])
+        assert rc == 0
+        assert (tmp_path / "tables.txt").exists()
+        fig5 = (tmp_path / "fig5.txt").read_text()
+        assert "PIM rate" in fig5

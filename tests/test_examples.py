@@ -1,0 +1,54 @@
+"""Example scripts: compile everything, execute the cheap ones."""
+
+import pathlib
+import py_compile
+import runpy
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+
+class TestCompile:
+    @pytest.mark.parametrize(
+        "name",
+        sorted(p.name for p in EXAMPLES.glob("*.py")),
+    )
+    def test_example_compiles(self, name):
+        py_compile.compile(str(EXAMPLES / name), doraise=True)
+
+    def test_expected_examples_present(self):
+        names = {p.name for p in EXAMPLES.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "graph_analytics_offloading.py",
+            "cooling_design_study.py",
+            "custom_throttling_policy.py",
+            "pim_isa_playground.py",
+        } <= names
+
+
+class TestExecution:
+    def _run(self, name, *args):
+        return subprocess.run(
+            [sys.executable, str(EXAMPLES / name), *args],
+            capture_output=True, text=True, timeout=300,
+        )
+
+    def test_pim_isa_playground(self):
+        proc = self._run("pim_isa_playground.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "memory now holds 42" in proc.stdout
+        assert "4x more" in proc.stdout
+
+    def test_cooling_design_study(self):
+        proc = self._run("cooling_design_study.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "no heat sink suffices" in proc.stdout
+
+    def test_graph_analytics_quick(self):
+        proc = self._run("graph_analytics_offloading.py", "--quick", "kcore")
+        assert proc.returncode == 0, proc.stderr
+        assert "kcore" in proc.stdout

@@ -1,0 +1,93 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.viz import bar_chart, line_chart, sparkline
+
+
+class TestSparkline:
+    def test_trend_shape(self):
+        s = sparkline([0, 1, 2, 3])
+        assert len(s) == 4
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_flat_series(self):
+        s = sparkline([5, 5, 5])
+        assert len(s) == 3
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestLineChart:
+    def test_renders_all_series_markers(self):
+        out = line_chart(
+            {"a": [1, 2, 3], "b": [3, 2, 1]}, title="t", width=20, height=5
+        )
+        assert "*" in out and "o" in out
+        assert "t" in out
+        assert "a" in out and "b" in out  # legend
+
+    def test_extremes_on_axis_labels(self):
+        out = line_chart({"x": [10.0, 50.0]}, xs=[0, 100], width=20, height=4)
+        assert "50" in out and "10" in out
+        assert "100" in out
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": [1, 2], "b": [1]})
+        with pytest.raises(ValueError):
+            line_chart({"a": [1, 2]}, xs=[1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"a": []})
+
+    def test_constant_series_ok(self):
+        out = line_chart({"flat": [2.0, 2.0, 2.0]}, width=10, height=3)
+        assert "flat" in out
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        out = bar_chart({"small": 1.0, "big": 4.0}, width=20)
+        lines = out.splitlines()
+        small = next(l for l in lines if "small" in l)
+        big = next(l for l in lines if "big" in l)
+        assert big.count("█") > small.count("█")
+
+    def test_reference_rule_drawn(self):
+        out = bar_chart({"a": 0.5, "b": 2.0}, width=20, reference=1.0)
+        assert "|" in out
+        assert "reference = 1" in out
+
+    def test_unit_suffix(self):
+        out = bar_chart({"t": 85.0}, unit="C")
+        assert "85C" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+        with pytest.raises(ValueError):
+            bar_chart({"a": -1.0})
+
+
+class TestWithRealExperimentData:
+    def test_fig4_style_chart(self):
+        from repro.experiments import fig4_bandwidth
+
+        sweep = fig4_bandwidth.run(bandwidths=(0, 160, 320))
+        out = line_chart(
+            sweep.curves, xs=sweep.bandwidths_gbs,
+            title="Fig. 4", y_label="peak C", x_label="GB/s",
+        )
+        assert "commodity" in out and "passive" in out
+
+    def test_fig10_style_bars(self):
+        out = bar_chart(
+            {"naive": 0.9, "coolpim-sw": 1.26, "ideal": 1.5},
+            reference=1.0, unit="x",
+        )
+        assert "coolpim-sw" in out

@@ -1,0 +1,115 @@
+"""Analytic validation of the RC network against a hand-built 1-D ladder.
+
+With a 1×1 floorplan grid there is no lateral conduction: the network is
+exactly a series resistance ladder, so the steady solution can be computed
+by hand (superposition over heat paths) and must match the sparse solver
+to numerical precision. This pins the network assembly — interface
+resistances, boundary terms, power injection — independently of any paper
+calibration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hmc.config import HMC_2_0
+from repro.thermal.floorplan import Floorplan
+from repro.thermal.rc_network import (
+    BOARD_RESISTANCE_C_W,
+    build_network,
+)
+from repro.thermal.solver import SteadySolver
+from repro.thermal.stack import build_stack
+
+
+@pytest.fixture(scope="module")
+def ladder():
+    stack = build_stack(HMC_2_0)
+    fp = Floorplan(config=HMC_2_0, vault_cols=1, vault_rows=1, sub=1)
+    scale = 1.0  # no calibration: pure physics check
+    network = build_network(stack, fp, sink_resistance_c_w=0.5,
+                            interface_scale=scale)
+    return stack, network
+
+
+def interface_resistances(stack, area, scale=1.0):
+    """Per-interface series resistances, bottom to top, mirroring
+    build_network's half-thickness rule."""
+    rs = []
+    layers = stack.layers
+    for i in range(len(layers) - 1):
+        a, b = layers[i], layers[i + 1]
+        r = 0.5 * a.vertical_resistance_k_w(area) + \
+            0.5 * b.vertical_resistance_k_w(area)
+        if a.name.startswith(("bond", "tim")) or b.name.startswith(("bond", "tim")):
+            r *= scale
+        rs.append(r)
+    return rs
+
+
+class TestLadderAgainstHandComputation:
+    def test_single_source_on_logic_die(self, ladder):
+        """1 W injected at the bottom splits between the upward (stack +
+        sink) and downward (board) paths; node temperatures follow the
+        voltage divider exactly."""
+        stack, network = ladder
+        ambient = 25.0
+        area = network.floorplan.cell_area_m2
+        rs = interface_resistances(stack, area)
+
+        # Path resistances seen from the logic node (node 0).
+        r_up = sum(rs) + 0.5          # through the stack to the sink
+        r_down = BOARD_RESISTANCE_C_W  # leak to the board
+        p = 1.0
+        # Current split: both paths end at ambient.
+        q_up = p * r_down / (r_up + r_down)
+
+        T = SteadySolver(network, ambient_c=ambient).solve(
+            np.eye(network.num_nodes)[0] * p
+        )
+        # Logic-node temperature.
+        expected_logic = ambient + p * (r_up * r_down) / (r_up + r_down)
+        assert T[0] == pytest.approx(expected_logic, rel=1e-9)
+
+        # Every node above: drop q_up x (resistance below it on the path).
+        cum = 0.0
+        for layer in range(1, stack.num_layers):
+            cum += rs[layer - 1]
+            expected = expected_logic - q_up * cum
+            assert T[layer] == pytest.approx(expected, rel=1e-9), layer
+
+    def test_power_at_top_bypasses_the_stack(self, ladder):
+        """Heat injected in the spreader should barely warm the logic die
+        (only via the shared sink drop + board divider)."""
+        stack, network = ladder
+        top = stack.num_layers - 1
+        P = np.zeros(network.num_nodes)
+        P[top] = 2.0
+        T = SteadySolver(network, ambient_c=0.0).solve(P)
+        # Spreader sits at ~= q_sink x 0.5 above ambient.
+        assert T[top] == pytest.approx(2.0 * 0.5, rel=0.05)
+        # The logic die floats close to the spreader temp (no flow through
+        # the stack except the tiny board leak).
+        assert T[0] < T[top] + 1e-9
+        assert T[0] > T[top] * 0.8
+
+    def test_superposition(self, ladder):
+        """The network is linear: T(P1 + P2) − Tamb = ΔT(P1) + ΔT(P2)."""
+        _stack, network = ladder
+        solver = SteadySolver(network, ambient_c=25.0)
+        rng = np.random.default_rng(1)
+        P1 = rng.random(network.num_nodes)
+        P2 = rng.random(network.num_nodes)
+        T1 = solver.solve(P1) - 25.0
+        T2 = solver.solve(P2) - 25.0
+        T12 = solver.solve(P1 + P2) - 25.0
+        assert np.allclose(T12, T1 + T2)
+
+    def test_energy_conservation_at_boundaries(self, ladder):
+        """All injected power leaves through sink + board at steady state."""
+        _stack, network = ladder
+        ambient = 25.0
+        P = np.zeros(network.num_nodes)
+        P[0] = 3.0
+        T = SteadySolver(network, ambient_c=ambient).solve(P)
+        boundary_flow = float(np.sum(network.B * (T - ambient)))
+        assert boundary_flow == pytest.approx(3.0, rel=1e-9)

@@ -1,0 +1,95 @@
+"""Floorplan: vault grids, cell geometry, power-map construction."""
+
+import numpy as np
+import pytest
+
+from repro.hmc.config import HMC_1_1, HMC_2_0
+from repro.thermal.floorplan import Floorplan, _grid_shape
+
+
+class TestGridShape:
+    def test_32_vaults_is_8x4(self):
+        assert _grid_shape(32) == (8, 4)
+
+    def test_16_vaults_is_4x4(self):
+        assert _grid_shape(16) == (4, 4)
+
+    def test_prime_count_degenerates(self):
+        assert _grid_shape(7) == (7, 1)
+
+
+class TestGeometry:
+    def test_cell_counts(self):
+        fp = Floorplan.for_config(HMC_2_0, sub=2)
+        assert fp.nx == 16 and fp.ny == 8
+        assert fp.num_cells == 128
+
+    def test_cell_area_sums_to_die(self):
+        fp = Floorplan.for_config(HMC_2_0, sub=2)
+        assert fp.cell_area_m2 * fp.num_cells == pytest.approx(68e-6)
+
+    def test_die_dimensions_product(self):
+        fp = Floorplan.for_config(HMC_2_0)
+        assert fp.die_width_m * fp.die_height_m == pytest.approx(68e-6)
+        assert fp.cell_dx_m * fp.nx == pytest.approx(fp.die_width_m)
+
+
+class TestVaultCells:
+    def test_every_cell_owned_by_one_vault(self):
+        fp = Floorplan.for_config(HMC_2_0, sub=2)
+        owned = [c for v in range(32) for c in fp.vault_cells(v)]
+        assert len(owned) == fp.num_cells
+        assert len(set(owned)) == fp.num_cells
+
+    def test_center_cells_subset_of_vault(self):
+        fp = Floorplan.for_config(HMC_2_0, sub=3)
+        cells = set(fp.vault_cells(5))
+        centers = fp.vault_center_cells(5)
+        assert set(centers) <= cells
+        assert len(centers) < len(cells)
+
+    def test_vault_id_bounds(self):
+        fp = Floorplan.for_config(HMC_1_1)
+        with pytest.raises(ValueError):
+            fp.vault_cells(16)
+
+
+class TestPowerMaps:
+    def test_uniform_map_conserves_power(self):
+        fp = Floorplan.for_config(HMC_2_0)
+        grid = fp.uniform_map(10.0)
+        assert grid.sum() == pytest.approx(10.0)
+        assert np.allclose(grid, grid.flat[0])
+
+    def test_vault_map_conserves_power(self):
+        fp = Floorplan.for_config(HMC_2_0)
+        grid = fp.vault_map(0.5, center_fraction=0.8)
+        assert grid.sum() == pytest.approx(0.5 * 32)
+
+    def test_center_concentration(self):
+        # sub=3 has a unique centre cell (sub=2 is fully centre-symmetric).
+        fp = Floorplan.for_config(HMC_2_0, sub=3)
+        grid = fp.vault_map(1.0, center_fraction=0.9)
+        cells = fp.vault_cells(0)
+        centers = set(fp.vault_center_cells(0))
+        center_power = max(grid[iy, ix] for ix, iy in centers)
+        edge_power = min(grid[iy, ix] for ix, iy in cells if (ix, iy) not in centers)
+        assert center_power > edge_power
+
+    def test_per_vault_vector(self):
+        fp = Floorplan.for_config(HMC_2_0)
+        powers = np.zeros(32)
+        powers[3] = 2.0
+        grid = fp.vault_map(powers)
+        assert grid.sum() == pytest.approx(2.0)
+        ix, iy = fp.vault_cells(3)[0]
+        assert grid[iy, ix] > 0
+
+    def test_validation(self):
+        fp = Floorplan.for_config(HMC_2_0)
+        with pytest.raises(ValueError):
+            fp.vault_map(1.0, center_fraction=1.5)
+        with pytest.raises(ValueError):
+            fp.vault_map(np.ones(5))
+        with pytest.raises(ValueError):
+            fp.uniform_map(-1.0)

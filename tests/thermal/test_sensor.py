@@ -1,0 +1,60 @@
+"""Thermal sensor: sampling period, threshold, hysteresis."""
+
+import pytest
+
+from repro.thermal.sensor import ThermalSensor
+
+
+class TestThresholds:
+    def test_warns_at_threshold(self):
+        s = ThermalSensor(warn_threshold_c=85.0, clear_threshold_c=83.0)
+        assert not s.observe(84.9, 0.0)
+        assert s.observe(85.0, 1.0)
+
+    def test_hysteresis_holds_warning(self):
+        s = ThermalSensor()
+        s.observe(86.0, 0.0)
+        assert s.observe(84.0, 1.0)       # between clear and warn: still on
+        assert not s.observe(82.9, 2.0)   # below clear: off
+
+    def test_no_rewarn_until_threshold(self):
+        s = ThermalSensor()
+        s.observe(86.0, 0.0)
+        s.observe(82.0, 1.0)
+        assert not s.observe(84.0, 2.0)
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            ThermalSensor(warn_threshold_c=85.0, clear_threshold_c=86.0)
+
+
+class TestSampling:
+    def test_readings_between_samples_ignored(self):
+        s = ThermalSensor(sample_period_s=1.0)
+        s.observe(50.0, 0.0)
+        # within the same sample period: spike invisible
+        assert not s.observe(99.0, 0.5)
+        assert s.last_temp_c == 50.0
+        # next period: seen
+        assert s.observe(99.0, 1.0)
+
+    def test_history_records_samples_only(self):
+        s = ThermalSensor(sample_period_s=1.0)
+        s.observe(50.0, 0.0)
+        s.observe(60.0, 0.5)
+        s.observe(70.0, 1.5)
+        assert len(s.history) == 2
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            ThermalSensor(sample_period_s=0.0)
+
+
+class TestReset:
+    def test_reset_clears_everything(self):
+        s = ThermalSensor()
+        s.observe(99.0, 0.0)
+        s.reset()
+        assert not s.warning
+        assert s.history == []
+        assert s.observe(99.0, 0.0)  # can sample immediately again

@@ -1,0 +1,112 @@
+"""Thermal solvers: steady-state physics, transient convergence."""
+
+import numpy as np
+import pytest
+
+from repro.hmc.config import HMC_2_0
+from repro.thermal.floorplan import Floorplan
+from repro.thermal.rc_network import build_network
+from repro.thermal.solver import SteadySolver, TransientSolver
+from repro.thermal.stack import build_stack
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_network(
+        build_stack(HMC_2_0), Floorplan.for_config(HMC_2_0, sub=2),
+        sink_resistance_c_w=0.5,
+    )
+
+
+class TestSteady:
+    def test_zero_power_is_ambient(self, network):
+        solver = SteadySolver(network, ambient_c=25.0)
+        T = solver.solve(np.zeros(network.num_nodes))
+        assert np.allclose(T, 25.0)
+
+    def test_power_raises_temperature(self, network):
+        solver = SteadySolver(network)
+        P = np.zeros(network.num_nodes)
+        P[network.node(0, 0, 0)] = 5.0
+        T = solver.solve(P)
+        assert T.min() > 25.0
+        assert T[network.node(0, 0, 0)] == T.max()
+
+    def test_linearity_in_power(self, network):
+        solver = SteadySolver(network, ambient_c=0.0)
+        P = np.random.default_rng(0).random(network.num_nodes)
+        T1 = solver.solve(P)
+        T2 = solver.solve(2 * P)
+        assert np.allclose(T2, 2 * T1)
+
+    def test_heat_flows_toward_sink(self, network):
+        # Power at the bottom: temperature decreases monotonically upward.
+        solver = SteadySolver(network)
+        P = np.zeros(network.num_nodes)
+        sl = network.layer_slice(0)
+        P[sl] = 10.0 / network.cells_per_layer
+        T = solver.solve(P)
+        layer_means = [
+            network.layer_temps(T, l).mean() for l in range(network.stack.num_layers)
+        ]
+        assert all(a >= b - 1e-9 for a, b in zip(layer_means, layer_means[1:]))
+
+    def test_shape_checked(self, network):
+        solver = SteadySolver(network)
+        with pytest.raises(ValueError):
+            solver.solve(np.zeros(3))
+
+
+class TestTransient:
+    def test_converges_to_steady_state(self, network):
+        P = np.zeros(network.num_nodes)
+        P[network.layer_slice(0)] = 20.0 / network.cells_per_layer
+        steady = SteadySolver(network).solve(P)
+        trans = TransientSolver(network)
+        trans.run(P, duration_s=0.5, dt_s=1e-3)
+        assert np.allclose(trans.T, steady, atol=0.5)
+
+    def test_monotone_warmup(self, network):
+        P = np.full(network.num_nodes, 0.01)
+        trans = TransientSolver(network)
+        peaks = []
+        for _ in range(10):
+            trans.step(P, 1e-3)
+            peaks.append(trans.T.max())
+        assert all(a <= b + 1e-9 for a, b in zip(peaks, peaks[1:]))
+
+    def test_cooldown_returns_to_ambient(self, network):
+        trans = TransientSolver(network, ambient_c=25.0, initial_c=90.0)
+        trans.run(np.zeros(network.num_nodes), duration_s=1.0, dt_s=1e-3)
+        assert np.allclose(trans.T, 25.0, atol=0.5)
+
+    def test_stability_with_large_steps(self, network):
+        # Implicit Euler must not blow up even with dt >> tau.
+        P = np.full(network.num_nodes, 0.05)
+        trans = TransientSolver(network)
+        trans.run(P, duration_s=10.0, dt_s=1.0)
+        assert np.isfinite(trans.T).all()
+        assert trans.T.max() < 500.0
+
+    def test_lu_cache_reused(self, network):
+        trans = TransientSolver(network)
+        P = np.zeros(network.num_nodes)
+        trans.step(P, 1e-3)
+        trans.step(P, 1e-3)
+        trans.step(P, 2e-3)
+        assert len(trans._lus) == 2
+
+    def test_set_state_shape_checked(self, network):
+        trans = TransientSolver(network)
+        with pytest.raises(ValueError):
+            trans.set_state(np.zeros(3))
+
+    def test_dt_validation(self, network):
+        trans = TransientSolver(network)
+        with pytest.raises(ValueError):
+            trans.step(np.zeros(network.num_nodes), 0.0)
+
+    def test_dominant_time_constant_ms_scale(self, network):
+        # Calibrated to the paper's millisecond feedback dynamics.
+        tau = TransientSolver(network).dominant_time_constant_s()
+        assert 1e-4 < tau < 0.2

@@ -1,0 +1,92 @@
+"""Workload base: coefficient validation and count→traffic translation."""
+
+import pytest
+
+from repro.gpu.config import GPU_DEFAULT
+from repro.graph import get_dataset
+from repro.workloads import get_workload, list_workloads
+from repro.workloads.base import EpochCounts, TrafficCoefficients
+from repro.workloads.dc import DegreeCentrality
+
+
+class TestCoefficients:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficCoefficients(lines_per_edge=-0.1)
+
+    def test_fractions_bounded(self):
+        with pytest.raises(ValueError):
+            TrafficCoefficients(lines_per_edge=1.0, divergence=2.0)
+        with pytest.raises(ValueError):
+            TrafficCoefficients(lines_per_edge=1.0, atomic_coalescing=1.5)
+
+
+class TestEpochCounts:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            EpochCounts(label="x", edges_inspected=-1)
+
+
+class TestTranslation:
+    def test_batch_uses_coefficients(self):
+        w = DegreeCentrality()
+        counts = EpochCounts(label="e", frontier_vertices=100,
+                             edges_inspected=1000, atomics=1000)
+        batch = w.batch_for(counts)
+        c = w.coeffs
+        expected_reads = round(1000 * c.lines_per_edge
+                               + 100 * c.lines_per_scan_vertex)
+        assert batch.reads == expected_reads
+        assert batch.atomics == 1000
+        assert batch.divergent_warp_ratio == c.divergence
+
+    def test_return_fraction_applied(self):
+        w = get_workload("sssp-dwc")
+        counts = EpochCounts(label="e", edges_inspected=100, atomics=100)
+        batch = w.batch_for(counts)
+        assert batch.atomics_with_return == round(100 * w.coeffs.return_fraction)
+
+    def test_write_lines_per_edge(self):
+        w = get_workload("bfs-dwc")
+        counts = EpochCounts(label="e", edges_inspected=1000, atomics=1000,
+                             updated_vertices=0)
+        batch = w.batch_for(counts)
+        assert batch.writes == round(1000 * w.coeffs.write_lines_per_edge)
+
+
+class TestLaunch:
+    def test_launch_carries_trace_and_threads(self):
+        g = get_dataset("uniform-tiny")
+        w = get_workload("pagerank")
+        w.iterations = 2
+        launch = w.launch(g)
+        assert launch.name == "pagerank"
+        assert launch.total_threads >= g.num_vertices
+        assert len(launch.trace) == 2
+
+    def test_cache_model_reflects_profile(self):
+        w = get_workload("dc")
+        cache = w.cache_model(GPU_DEFAULT)
+        assert cache.read_hit_rate == w.coeffs.read_hit_rate
+        assert cache.host_atomic_coalescing == w.coeffs.atomic_coalescing
+
+
+class TestRegistry:
+    def test_ten_benchmarks(self):
+        names = list_workloads()
+        assert len(names) == 10
+        assert names == [
+            "dc", "bfs-ta", "bfs-dwc", "bfs-ttc", "bfs-twc",
+            "kcore", "pagerank", "sssp-dtc", "sssp-dwc", "sssp-twc",
+        ]
+
+    def test_instances_named_consistently(self):
+        for name in list_workloads():
+            assert get_workload(name).name == name
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            get_workload("nope")
+
+    def test_seed_forwarded(self):
+        assert get_workload("dc", seed=5).seed == 5

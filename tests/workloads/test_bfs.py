@@ -1,0 +1,106 @@
+"""BFS variants: correctness vs networkx, trace structure, variant mix."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import get_dataset
+from repro.graph.generators import grid_graph, ldbc_like_graph
+from repro.workloads.bfs import BfsDwc, BfsTa, BfsTtc, BfsTwc, bfs_depths, pick_sources
+
+
+def to_nx(g):
+    G = nx.DiGraph()
+    G.add_nodes_from(range(g.num_vertices))
+    src = np.repeat(np.arange(g.num_vertices), np.diff(g.indptr))
+    G.add_edges_from(zip(src.tolist(), g.indices.tolist()))
+    return G
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return ldbc_like_graph(scale=8, edge_factor=6, seed=3)
+
+
+class TestCorrectness:
+    def test_depths_match_networkx(self, graph):
+        depth = bfs_depths(graph, source=0)
+        expected = nx.single_source_shortest_path_length(to_nx(graph), 0)
+        for v in range(graph.num_vertices):
+            if v in expected:
+                assert depth[v] == expected[v], f"vertex {v}"
+            else:
+                assert depth[v] == -1
+
+    def test_grid_depths_are_manhattan(self):
+        g = grid_graph(5, 5)
+        depth = bfs_depths(g, source=0)
+        for r in range(5):
+            for c in range(5):
+                assert depth[r * 5 + c] == r + c
+
+    def test_source_depth_zero(self, graph):
+        assert bfs_depths(graph, 7)[7] == 0
+
+
+class TestSources:
+    def test_deterministic(self, graph):
+        a = pick_sources(graph, 8, seed=1)
+        b = pick_sources(graph, 8, seed=1)
+        assert np.array_equal(a, b)
+
+    def test_no_isolated_sources(self, graph):
+        deg = np.asarray(graph.out_degree())
+        for s in pick_sources(graph, 16, seed=2):
+            assert deg[s] > 0
+
+    def test_unique(self, graph):
+        s = pick_sources(graph, 16, seed=0)
+        assert len(set(s.tolist())) == len(s)
+
+
+class TestTraces:
+    @pytest.mark.parametrize("cls", [BfsTa, BfsTtc, BfsTwc, BfsDwc])
+    def test_trace_nonempty_and_valid(self, graph, cls):
+        w = cls()
+        w.num_sources = 2
+        trace = w.trace(graph)
+        assert len(trace) > 2
+        totals = trace.totals()
+        assert totals.atomics > 0
+        assert totals.reads > 0
+
+    def test_topological_variants_scan_all_vertices(self, graph):
+        w = BfsTa()
+        w.num_sources = 1
+        counts = list(w.epochs(graph))
+        assert all(c.scanned_vertices == graph.num_vertices for c in counts)
+
+    def test_data_driven_scans_nothing(self, graph):
+        w = BfsDwc()
+        w.num_sources = 1
+        counts = list(w.epochs(graph))
+        assert all(c.scanned_vertices == 0 for c in counts)
+
+    def test_atomic_mode_edge_counts_all_edges(self, graph):
+        w = BfsTa()  # atomic per inspected edge
+        w.num_sources = 1
+        counts = list(w.epochs(graph))
+        assert all(c.atomics == c.edges_inspected for c in counts)
+
+    def test_frontier_sizes_sum_to_reachable(self, graph):
+        w = BfsDwc()
+        w.num_sources = 1
+        counts = list(w.epochs(graph))
+        src = int(pick_sources(graph, 1, seed=0)[0])
+        reachable = (bfs_depths(graph, src) >= 0).sum()
+        assert sum(c.updated_vertices for c in counts) == reachable - 1
+
+    def test_warp_centric_low_divergence(self):
+        assert BfsDwc.coeffs.divergence < 0.1 < BfsTtc.coeffs.divergence
+
+    def test_reference_returns_depths(self, graph):
+        w = BfsTwc()
+        ref = w.reference(graph)
+        assert ref.shape == (graph.num_vertices,)
+        assert (ref >= -1).all()

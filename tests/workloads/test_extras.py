@@ -1,0 +1,134 @@
+"""Extra kernels (cc, tc): correctness vs networkx and trace structure."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.generators import grid_graph, ldbc_like_graph, star_graph
+from repro.workloads.extras import (
+    ConnectedComponents,
+    TriangleCount,
+    connected_components,
+    triangle_count,
+)
+
+
+def to_nx_undirected(g):
+    G = nx.Graph()
+    G.add_nodes_from(range(g.num_vertices))
+    src = np.repeat(np.arange(g.num_vertices), np.diff(g.indptr))
+    G.add_edges_from(zip(src.tolist(), g.indices.tolist()))
+    return G
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return ldbc_like_graph(scale=7, edge_factor=4, seed=13)
+
+
+class TestConnectedComponents:
+    def test_matches_networkx(self, graph):
+        labels = connected_components(graph)
+        for comp in nx.connected_components(to_nx_undirected(graph)):
+            comp = sorted(comp)
+            assert len(set(labels[comp].tolist())) == 1, "split component"
+        # distinct components get distinct labels
+        n_ours = len(np.unique(labels))
+        n_nx = nx.number_connected_components(to_nx_undirected(graph))
+        assert n_ours == n_nx
+
+    def test_isolated_vertices_keep_own_label(self):
+        g = star_graph(3)
+        labels = connected_components(g)
+        assert len(np.unique(labels)) == 1  # star is one component
+
+    def test_trace_terminates_with_fixed_point(self, graph):
+        w = ConnectedComponents()
+        w.repeats = 1
+        counts = list(w.epochs(graph))
+        assert counts[-1].updated_vertices == 0
+        assert all(c.edges_inspected == graph.num_edges for c in counts)
+
+
+class TestTriangleCount:
+    def test_matches_networkx(self, graph):
+        ours = triangle_count(graph)
+        theirs = sum(nx.triangles(to_nx_undirected(graph)).values()) // 3
+        assert ours == theirs
+
+    def test_grid_has_no_triangles(self):
+        assert triangle_count(grid_graph(4, 4)) == 0
+
+    def test_trace_covers_all_chunks(self, graph):
+        w = TriangleCount()
+        w.repeats = 1
+        counts = list(w.epochs(graph))
+        covered = sum(c.frontier_vertices for c in counts)
+        assert covered == graph.num_vertices
+
+    def test_read_dominated_profile(self):
+        # tc must be thermally benign: many read lines per atomic.
+        c = TriangleCount.coeffs
+        assert c.lines_per_edge > 2.0
+
+
+class TestAsWorkloads:
+    def test_cc_runs_in_the_simulator(self, graph):
+        from repro.core import CoolPimSystem
+
+        w = ConnectedComponents()
+        w.repeats = 2
+        res = CoolPimSystem().run(w, graph, "naive-offloading")
+        assert res.runtime_s > 0
+        assert res.pim_ops > 0
+
+    def test_tc_stays_cool_under_naive_offloading(self, graph):
+        from repro.core import CoolPimSystem
+
+        w = TriangleCount()
+        w.repeats = 2
+        res = CoolPimSystem().run(w, graph, "naive-offloading")
+        assert res.avg_pim_rate_ops_ns < 1.5
+
+
+class TestGraphColoring:
+    def test_coloring_is_valid(self, graph):
+        from repro.workloads.extras import jones_plassmann_coloring
+        import numpy as np
+
+        colors = jones_plassmann_coloring(graph, seed=1)
+        assert (colors >= 0).all()
+        und = graph.to_undirected()
+        src = np.repeat(np.arange(und.num_vertices), np.diff(und.indptr))
+        assert not np.any(colors[src] == colors[und.indices])
+
+    def test_deterministic_per_seed(self, graph):
+        from repro.workloads.extras import jones_plassmann_coloring
+        import numpy as np
+
+        a = jones_plassmann_coloring(graph, seed=2)
+        b = jones_plassmann_coloring(graph, seed=2)
+        assert np.array_equal(a, b)
+
+    def test_color_count_reasonable(self, graph):
+        from repro.workloads.extras import jones_plassmann_coloring
+
+        colors = jones_plassmann_coloring(graph, seed=3)
+        _, peak = graph.to_undirected().degree_stats()
+        assert colors.max() <= peak  # greedy bound: deg+1 colors
+
+    def test_epochs_color_everyone_exactly_once(self, graph):
+        from repro.workloads.extras import GraphColoring
+
+        w = GraphColoring()
+        w.repeats = 1
+        counts = list(w.epochs(graph))
+        assert sum(c.atomics for c in counts) == graph.num_vertices
+        assert counts[0].frontier_vertices == graph.num_vertices
+
+    def test_registered_as_extra(self):
+        from repro.workloads import get_workload, list_workloads
+
+        assert "gc" in list_workloads(include_extras=True)
+        assert "gc" not in list_workloads()
+        assert get_workload("gc").name == "gc"

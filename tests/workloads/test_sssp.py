@@ -1,0 +1,94 @@
+"""SSSP variants: correctness vs networkx, relaxation accounting."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.generators import grid_graph, ldbc_like_graph
+from repro.workloads.bfs import pick_sources
+from repro.workloads.sssp import SsspDtc, SsspDwc, SsspTwc, sssp_distances
+
+
+def to_nx_weighted(g):
+    G = nx.DiGraph()
+    G.add_nodes_from(range(g.num_vertices))
+    src = np.repeat(np.arange(g.num_vertices), np.diff(g.indptr))
+    for s, d, w in zip(src.tolist(), g.indices.tolist(), g.weights.tolist()):
+        G.add_edge(s, d, weight=w)
+    return G
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return ldbc_like_graph(scale=8, edge_factor=6, seed=5)
+
+
+class TestCorrectness:
+    def test_distances_match_networkx(self, graph):
+        dist = sssp_distances(graph, source=3)
+        expected = nx.single_source_dijkstra_path_length(
+            to_nx_weighted(graph), 3
+        )
+        for v in range(graph.num_vertices):
+            if v in expected:
+                assert dist[v] == pytest.approx(expected[v]), f"vertex {v}"
+            else:
+                assert np.isinf(dist[v])
+
+    def test_weighted_grid(self):
+        g = grid_graph(4, 4, weighted=True, seed=2)
+        dist = sssp_distances(g, 0)
+        expected = nx.single_source_dijkstra_path_length(to_nx_weighted(g), 0)
+        for v, d in expected.items():
+            assert dist[v] == pytest.approx(d)
+
+    def test_unweighted_rejected(self):
+        g = grid_graph(3, 3, weighted=False)
+        with pytest.raises(ValueError):
+            sssp_distances(g, 0)
+
+
+class TestVariants:
+    @pytest.mark.parametrize("cls", [SsspDtc, SsspDwc])
+    def test_data_driven_traces(self, graph, cls):
+        w = cls()
+        w.num_sources = 2
+        trace = w.trace(graph)
+        totals = trace.totals()
+        assert totals.atomics > 0
+        # Every inspected edge attempts an atomicMin.
+        counts = list(w.epochs(graph))
+        assert all(c.atomics == c.edges_inspected for c in counts)
+
+    def test_twc_sweeps_all_edges(self, graph):
+        w = SsspTwc()
+        w.num_sources = 1
+        counts = list(w.epochs(graph))
+        assert all(c.edges_inspected == graph.num_edges for c in counts)
+        # Last sweep changes nothing (termination condition).
+        assert counts[-1].updated_vertices == 0
+
+    def test_twc_atomics_bounded_by_finite_sources(self, graph):
+        w = SsspTwc()
+        w.num_sources = 1
+        counts = list(w.epochs(graph))
+        # First sweep: only the source's edges relax.
+        src = int(pick_sources(graph, 1, seed=0)[0])
+        assert counts[0].atomics == graph.out_degree(src)
+
+    def test_return_fraction_nonzero(self):
+        # atomicMin results feed the frontier test.
+        for cls in (SsspDtc, SsspDwc, SsspTwc):
+            assert cls.coeffs.return_fraction > 0
+
+    def test_unweighted_graph_rejected_by_workloads(self):
+        g = grid_graph(3, 3, weighted=False)
+        w = SsspDwc()
+        with pytest.raises(ValueError):
+            list(w.epochs(g))
+
+    def test_dtc_heaviest_traffic_per_edge(self):
+        # sssp-dtc must stay under the thermal threshold: most read lines
+        # per atomic of all SSSP variants.
+        assert SsspDtc.coeffs.lines_per_edge > SsspDwc.coeffs.lines_per_edge
+        assert SsspDtc.coeffs.lines_per_edge > SsspTwc.coeffs.lines_per_edge

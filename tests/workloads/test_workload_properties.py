@@ -1,0 +1,82 @@
+"""Property-based workload invariants across random graphs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import ldbc_like_graph
+from repro.workloads import get_workload, list_workloads
+from repro.workloads.bfs import BfsDwc, bfs_depths
+from repro.workloads.sssp import SsspDwc, sssp_distances
+
+graph_params = st.tuples(
+    st.integers(min_value=5, max_value=7),   # scale
+    st.integers(min_value=3, max_value=6),   # edge factor
+    st.integers(min_value=0, max_value=50),  # seed
+)
+
+
+@settings(max_examples=10, deadline=None)
+@given(graph_params)
+def test_bfs_depths_are_consistent_with_edges(params):
+    """Triangle inequality on levels: an edge can't skip a level."""
+    scale, ef, seed = params
+    g = ldbc_like_graph(scale=scale, edge_factor=ef, seed=seed)
+    depth = bfs_depths(g, 0)
+    src = np.repeat(np.arange(g.num_vertices), np.diff(g.indptr))
+    for s, d in zip(src, g.indices):
+        if depth[s] >= 0:
+            assert depth[d] != -1
+            assert depth[d] <= depth[s] + 1
+
+
+@settings(max_examples=10, deadline=None)
+@given(graph_params)
+def test_sssp_no_relaxable_edge_remains(params):
+    scale, ef, seed = params
+    g = ldbc_like_graph(scale=scale, edge_factor=ef, seed=seed)
+    dist = sssp_distances(g, 0)
+    src = np.repeat(np.arange(g.num_vertices), np.diff(g.indptr))
+    finite = np.isfinite(dist[src])
+    slack = (dist[src[finite]] + g.weights[finite]) - dist[g.indices[finite]]
+    assert np.all(slack >= -1e-9)
+
+
+@settings(max_examples=6, deadline=None)
+@given(graph_params)
+def test_bfs_trace_accounts_every_reachable_vertex(params):
+    scale, ef, seed = params
+    g = ldbc_like_graph(scale=scale, edge_factor=ef, seed=seed)
+    w = BfsDwc()
+    w.num_sources = 1
+    counts = list(w.epochs(g))
+    from repro.workloads.bfs import pick_sources
+
+    src = int(pick_sources(g, 1, w.seed)[0])
+    reachable = int((bfs_depths(g, src) >= 0).sum())
+    assert sum(c.updated_vertices for c in counts) == reachable - 1
+    # Edges inspected equals the out-degrees of everything that entered
+    # the frontier (source + discovered vertices).
+    deg = np.asarray(g.out_degree())
+    in_frontier = bfs_depths(g, src) >= 0
+    assert sum(c.edges_inspected for c in counts) == int(deg[in_frontier].sum())
+
+
+@settings(max_examples=5, deadline=None)
+@given(graph_params)
+def test_every_benchmark_emits_valid_batches(params):
+    scale, ef, seed = params
+    g = ldbc_like_graph(scale=scale, edge_factor=ef, seed=seed)
+    for name in list_workloads():
+        w = get_workload(name)
+        for attr, val in (("num_sources", 1), ("repeats", 1),
+                          ("iterations", 2)):
+            if hasattr(w, attr):
+                setattr(w, attr, val)
+        trace = w.trace(g)
+        totals = trace.totals()
+        # Constructors validate; here we check cross-field sanity.
+        assert totals.atomics_with_return <= totals.atomics
+        assert 0.0 <= totals.divergent_warp_ratio <= 1.0
+        assert totals.threads >= 1
