@@ -1,0 +1,92 @@
+"""Job service: pooled vs serial sweep wall-time, cold vs warm cache.
+
+Run with ``pytest benchmarks/test_service_bench.py --benchmark-only``.
+The sweep benchmark uses fixed-duration sleep jobs so the parallel
+speedup is attributable to the scheduler rather than simulator noise;
+the cache benchmark replays real simulation jobs against the store.
+"""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.service import (
+    JobScheduler,
+    JobSpec,
+    ResultStore,
+    register_handler,
+    simulation_spec,
+)
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+needs_fork = pytest.mark.skipif(
+    not HAS_FORK, reason="pooled benchmarks need the fork start method"
+)
+
+N_JOBS = 8
+JOB_DURATION_S = 0.1
+POOL_WORKERS = 4
+
+
+def _fixed_work(spec):
+    time.sleep(JOB_DURATION_S)
+    return {"i": spec.params["i"]}
+
+
+register_handler("bench-sleep", _fixed_work)
+
+
+def _sleep_specs():
+    return [
+        JobSpec(kind="bench-sleep", name=f"bench{i}", params={"i": i})
+        for i in range(N_JOBS)
+    ]
+
+
+@needs_fork
+def test_pooled_sweep_beats_serial(benchmark):
+    t0 = time.perf_counter()
+    serial_report = JobScheduler(serial=True).run(_sleep_specs())
+    serial_s = time.perf_counter() - t0
+    assert serial_report.ok
+
+    pooled_report = benchmark.pedantic(
+        lambda: JobScheduler(max_workers=POOL_WORKERS).run(_sleep_specs()),
+        rounds=3,
+        iterations=1,
+    )
+    assert pooled_report.ok and pooled_report.executed == N_JOBS
+    pooled_s = benchmark.stats.stats.mean
+    print()
+    print(f"serial sweep : {serial_s:.3f} s  ({N_JOBS} x {JOB_DURATION_S} s jobs)")
+    print(f"pooled sweep : {pooled_s:.3f} s  ({POOL_WORKERS} workers)")
+    print(f"speedup      : {serial_s / pooled_s:.2f}x")
+    # 8 x 0.1 s of work on 4 workers should land well under serial time.
+    assert pooled_s < serial_s
+
+
+@needs_fork
+def test_warm_cache_beats_cold(benchmark, tmp_path):
+    store = ResultStore(root=tmp_path / "cache")
+    specs = [
+        simulation_spec("kcore", dataset="ldbc-tiny", policy="non-offloading"),
+        simulation_spec("dc", dataset="ldbc-tiny", policy="coolpim-hw"),
+    ]
+    t0 = time.perf_counter()
+    cold = JobScheduler(store=store, max_workers=2).run(specs)
+    cold_s = time.perf_counter() - t0
+    assert cold.ok and cold.executed == len(specs)
+
+    warm = benchmark.pedantic(
+        lambda: JobScheduler(store=store, serial=True).run(specs),
+        rounds=5,
+        iterations=1,
+    )
+    assert warm.cache_hits == len(specs) and warm.executed == 0
+    warm_s = benchmark.stats.stats.mean
+    print()
+    print(f"cold sweep (simulated)  : {cold_s:.3f} s")
+    print(f"warm sweep (cache hits) : {warm_s * 1e3:.1f} ms")
+    print(f"speedup                 : {cold_s / warm_s:.0f}x")
+    assert warm_s < cold_s

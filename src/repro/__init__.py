@@ -14,7 +14,9 @@ Subpackages: :mod:`repro.hmc` (device models), :mod:`repro.thermal`
 (RC-network thermal model), :mod:`repro.gpu` (host + co-simulation),
 :mod:`repro.workloads` (GraphBIG kernels), :mod:`repro.graph` (CSR +
 generators), :mod:`repro.core` (CoolPIM policies),
-:mod:`repro.experiments` (table/figure regenerators).
+:mod:`repro.experiments` (table/figure regenerators),
+:mod:`repro.service` (parallel job scheduler + content-addressed
+result cache).
 """
 
 from repro.core.coolpim import CoolPimSystem

@@ -4,10 +4,15 @@
     python -m repro run pagerank --policy coolpim-hw --dataset ldbc
     python -m repro compare bfs-dwc
     python -m repro experiments --only fig5,fig10
+    python -m repro batch --quick
+    python -m repro cache stats
 
 ``run`` simulates one (workload, policy) pair, ``compare`` runs the full
 policy matrix for one workload, and ``experiments`` delegates to
-:mod:`repro.experiments.runner`.
+:mod:`repro.experiments.runner` (serial). ``batch`` runs the figure
+sweep as jobs on the :mod:`repro.service` process pool with the
+content-addressed result cache (re-running a sweep skips completed
+jobs), and ``cache`` inspects or clears that store.
 """
 
 from __future__ import annotations
@@ -94,7 +99,66 @@ def cmd_experiments(args) -> int:
         argv.append("--quick")
     if args.only:
         argv.extend(["--only", args.only])
+    if args.seed:
+        argv.extend(["--seed", str(args.seed)])
     return runner.main(argv)
+
+
+def cmd_batch(args) -> int:
+    """Parallel figure sweep through the job service (cached, resumable)."""
+    from repro.experiments import runner
+
+    argv = ["--jobs", str(args.jobs if args.jobs is not None else 0)]
+    if args.quick:
+        argv.append("--quick")
+    if args.only:
+        argv.extend(["--only", args.only])
+    if args.seed:
+        argv.extend(["--seed", str(args.seed)])
+    if args.cache_dir:
+        argv.extend(["--cache-dir", args.cache_dir])
+    if args.no_cache:
+        argv.append("--no-cache")
+    if args.out:
+        argv.extend(["--out", args.out])
+    return runner.main(argv)
+
+
+def cmd_cache(args) -> int:
+    from repro.service import JobJournal, ResultStore
+
+    store = ResultStore(root=args.cache_dir) if args.cache_dir else ResultStore()
+    action = args.action
+    if action == "clear":
+        print(f"removed {store.clear()} cached result(s) from {store.root}")
+        return 0
+    if action == "prune":
+        print(f"pruned {store.prune_stale()} stale result(s) from {store.root}")
+        return 0
+    if action == "ls":
+        for record in sorted(
+            store.entries(), key=lambda r: r.get("created_unix", 0.0)
+        ):
+            spec = record.get("spec", {})
+            stale = "" if record.get("fingerprint") == store.fingerprint else " [stale]"
+            print(
+                f"{record.get('key', '?')[:12]}  "
+                f"{spec.get('kind', '?'):10s}  {spec.get('name', '?'):24s}  "
+                f"seed={spec.get('seed', 0)}  "
+                f"{record.get('elapsed_s', 0.0):8.2f}s{stale}"
+            )
+        return 0
+    # default: stats
+    stats = store.stats()
+    print(f"cache dir : {store.root}")
+    print(f"entries   : {stats.entries} ({stats.stale_entries} stale)")
+    print(f"size      : {stats.total_bytes / 1024:.1f} KiB")
+    journal_path = store.root / "journal.jsonl"
+    counts = JobJournal.summary(journal_path)
+    if counts:
+        events = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        print(f"journal   : {journal_path} ({events})")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -125,6 +189,29 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p = sub.add_parser("experiments", help="regenerate tables/figures")
     exp_p.add_argument("--quick", action="store_true")
     exp_p.add_argument("--only", default=None)
+    exp_p.add_argument("--seed", type=int, default=0)
+
+    batch_p = sub.add_parser(
+        "batch",
+        help="parallel figure sweep via the job service (cached, resumable)",
+    )
+    batch_p.add_argument("--quick", action="store_true")
+    batch_p.add_argument("--only", default=None)
+    batch_p.add_argument("--seed", type=int, default=0)
+    batch_p.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="pool size (default: one per CPU)")
+    batch_p.add_argument("--cache-dir", default=None, metavar="DIR")
+    batch_p.add_argument("--no-cache", action="store_true",
+                         help="re-execute everything, ignoring cached results")
+    batch_p.add_argument("--out", default=None, metavar="DIR",
+                         help="also write each experiment's output to DIR")
+
+    cache_p = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache_p.add_argument(
+        "action", nargs="?", default="stats",
+        choices=["stats", "ls", "clear", "prune"],
+    )
+    cache_p.add_argument("--cache-dir", default=None, metavar="DIR")
     return parser
 
 
@@ -135,6 +222,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         "run": cmd_run,
         "compare": cmd_compare,
         "experiments": cmd_experiments,
+        "batch": cmd_batch,
+        "cache": cmd_cache,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,73 @@
+"""Code fingerprinting for cache invalidation.
+
+A cached job result is only as trustworthy as the code that produced it.
+The result store stamps every record with a fingerprint of the ``repro``
+package source; when any ``.py`` file changes, the fingerprint changes and
+every previously cached payload silently becomes a miss. This is the same
+content-hash discipline the cache keys use, applied to the code axis.
+
+The fingerprint hashes file *contents* (not mtimes), so reinstalling or
+re-checking-out identical code keeps the cache warm.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from functools import lru_cache
+from pathlib import Path
+from typing import Iterable, Optional
+
+#: Environment override — set to any string to pin the fingerprint
+#: (useful for cache-sharing across installs, or for tests that need to
+#: simulate a code change without touching files).
+FINGERPRINT_ENV = "REPRO_CODE_FINGERPRINT"
+
+
+def _package_root() -> Path:
+    """Directory of the installed ``repro`` package."""
+    return Path(__file__).resolve().parent.parent
+
+
+def iter_source_files(root: Path) -> Iterable[Path]:
+    """All ``.py`` files under ``root``, in a deterministic order."""
+    return sorted(p for p in root.rglob("*.py") if p.is_file())
+
+
+def file_digest(path: Path) -> str:
+    h = hashlib.sha256()
+    with open(path, "rb") as f:
+        for chunk in iter(lambda: f.read(1 << 16), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+@lru_cache(maxsize=8)
+def _fingerprint_of(root: str) -> str:
+    h = hashlib.sha256()
+    root_path = Path(root)
+    for path in iter_source_files(root_path):
+        rel = path.relative_to(root_path).as_posix()
+        h.update(rel.encode("utf-8"))
+        h.update(b"\0")
+        h.update(file_digest(path).encode("ascii"))
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+def code_fingerprint(root: Optional[Path] = None) -> str:
+    """Fingerprint of the source tree that executes jobs.
+
+    Defaults to the ``repro`` package directory; pass ``root`` to
+    fingerprint an arbitrary tree (tests use a tmp dir). The
+    ``REPRO_CODE_FINGERPRINT`` environment variable overrides both.
+    """
+    env = os.environ.get(FINGERPRINT_ENV)
+    if env:
+        return env
+    return _fingerprint_of(str((root or _package_root()).resolve()))
+
+
+def clear_fingerprint_cache() -> None:
+    """Drop memoized fingerprints (after editing files mid-process)."""
+    _fingerprint_of.cache_clear()

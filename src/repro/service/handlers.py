@@ -1,0 +1,101 @@
+"""Built-in job handlers: figure experiments and single simulations.
+
+These are the two production job kinds the CLI and the experiment runner
+submit. Handlers are plain module-level functions (picklable under any
+multiprocessing start method) that take a :class:`JobSpec` and return a
+JSON-serializable payload dict.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.experiments.common import RunScale
+from repro.service.jobs import JobSpec
+
+
+def experiment_spec(
+    name: str,
+    scale: Optional[RunScale] = None,
+    quick: bool = False,
+    seed: int = 0,
+    timeout_s: Optional[float] = None,
+    max_retries: int = 0,
+) -> JobSpec:
+    """Spec for one figure/table experiment (see ``repro.experiments``).
+
+    The full :class:`RunScale` enters the params (and therefore the cache
+    key), so sweeps at different datasets, scales, or seeds never collide
+    in the result store.
+    """
+    if scale is None:
+        scale = RunScale.quick(seed=seed) if quick else RunScale.full(seed=seed)
+    return JobSpec(
+        kind="experiment",
+        name=name,
+        params={"experiment": name, "scale": scale.to_dict()},
+        seed=scale.seed,
+        timeout_s=timeout_s,
+        max_retries=max_retries,
+        tags=("experiment",),
+    )
+
+
+def simulation_spec(
+    workload: str,
+    dataset: str = "ldbc",
+    policy: str = "coolpim-hw",
+    cooling: str = "commodity",
+    seed: int = 0,
+    timeout_s: Optional[float] = None,
+    max_retries: int = 0,
+) -> JobSpec:
+    """Spec for one (workload × policy × dataset × cooling) simulation."""
+    return JobSpec(
+        kind="simulation",
+        name=f"{workload}/{policy}@{dataset}",
+        params={
+            "workload": workload,
+            "dataset": dataset,
+            "policy": policy,
+            "cooling": cooling,
+        },
+        seed=seed,
+        timeout_s=timeout_s,
+        max_retries=max_retries,
+        tags=("simulation",),
+    )
+
+
+def run_experiment_job(spec: JobSpec) -> Dict[str, Any]:
+    """Execute one experiment module and return its formatted output."""
+    from repro.experiments import runner
+
+    scale = RunScale.from_dict(spec.params["scale"])
+    name = spec.params["experiment"]
+    text = runner.run_experiment(name, scale)
+    return {"experiment": name, "scale": scale.to_dict(), "text": text}
+
+
+def run_simulation_job(spec: JobSpec) -> Dict[str, Any]:
+    """Execute one CoolPIM system run and return its aggregate metrics."""
+    from repro.core.coolpim import CoolPimSystem
+    from repro.graph.datasets import get_dataset
+    from repro.thermal.cooling import COOLING_SOLUTIONS
+    from repro.workloads.registry import get_workload
+
+    params = spec.params
+    system = CoolPimSystem(
+        cooling=COOLING_SOLUTIONS[params.get("cooling", "commodity")]
+    )
+    graph = get_dataset(params.get("dataset", "ldbc"))
+    workload = get_workload(params["workload"], seed=spec.seed)
+    result = system.run(workload, graph, params.get("policy", "coolpim-hw"))
+    return {
+        "workload": params["workload"],
+        "dataset": params.get("dataset", "ldbc"),
+        "policy": params.get("policy", "coolpim-hw"),
+        "cooling": params.get("cooling", "commodity"),
+        "seed": spec.seed,
+        "result": result.to_dict(),
+    }

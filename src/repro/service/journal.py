@@ -1,0 +1,84 @@
+"""Append-only JSONL journal — the job service's observability layer.
+
+Every lifecycle transition (submitted, cache hit, completed, retrying,
+failed, sweep start/end) is one JSON line with a wall-clock timestamp.
+The journal is append-only across invocations, so it doubles as the audit
+trail for resumability: after a killed sweep, the second run's
+``cache_hit`` entries prove which jobs were served from the store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import Counter
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+
+class JobJournal:
+    """Line-buffered JSONL event log.
+
+    Usable as a context manager; safe to leave open for the lifetime of a
+    scheduler (each event is flushed to disk immediately, so a killed
+    sweep keeps every event up to the kill).
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def append(self, event: str, **fields: Any) -> Dict[str, Any]:
+        record: Dict[str, Any] = {"ts": time.time(), "event": event}
+        record.update(fields)
+        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        return record
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- reading ----------------------------------------------------------
+
+    @staticmethod
+    def read(path: Union[str, Path]) -> List[Dict[str, Any]]:
+        """All parseable events in ``path`` (missing file → empty list)."""
+        return list(JobJournal.iter_events(path))
+
+    @staticmethod
+    def iter_events(path: Union[str, Path]) -> Iterator[Dict[str, Any]]:
+        try:
+            fh = open(path, "r", encoding="utf-8")
+        except FileNotFoundError:
+            return
+        with fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # a torn final line from a killed process
+
+    @staticmethod
+    def summary(
+        path: Union[str, Path], since_ts: Optional[float] = None
+    ) -> Counter:
+        """Event-type counts, optionally restricted to ``ts >= since_ts``."""
+        counts: Counter = Counter()
+        for record in JobJournal.iter_events(path):
+            if since_ts is not None and record.get("ts", 0.0) < since_ts:
+                continue
+            counts[record.get("event", "?")] += 1
+        return counts

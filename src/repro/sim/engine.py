@@ -37,10 +37,16 @@ class Event:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    _engine: Optional["EventEngine"] = field(
+        default=None, compare=False, repr=False
+    )
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._engine is not None:
+                self._engine._live -= 1
 
 
 class EventEngine:
@@ -62,6 +68,10 @@ class EventEngine:
         self._seq = 0
         self._now = 0.0
         self._running = False
+        # Live (non-cancelled, not-yet-fired) event count, maintained
+        # incrementally: __len__ sits on the hot scheduling path and must
+        # not rescan the heap.
+        self._live = 0
 
     @property
     def now(self) -> float:
@@ -69,7 +79,7 @@ class EventEngine:
         return self._now
 
     def __len__(self) -> int:
-        return sum(1 for e in self._queue if not e.cancelled)
+        return self._live
 
     def schedule(
         self, time: float, callback: Callable[[], None], priority: int = 0
@@ -82,8 +92,12 @@ class EventEngine:
             raise ValueError(
                 f"cannot schedule event at t={time} before now={self._now}"
             )
-        ev = Event(time=time, priority=priority, seq=self._seq, callback=callback)
+        ev = Event(
+            time=time, priority=priority, seq=self._seq, callback=callback,
+            _engine=self,
+        )
         self._seq += 1
+        self._live += 1
         heapq.heappush(self._queue, ev)
         return ev
 
@@ -107,6 +121,7 @@ class EventEngine:
             ev = heapq.heappop(self._queue)
             if ev.cancelled:
                 continue
+            self._live -= 1
             self._now = ev.time
             ev.callback()
             return True
@@ -140,6 +155,7 @@ class EventEngine:
         self._queue.clear()
         self._now = 0.0
         self._seq = 0
+        self._live = 0
 
 
 class Ticker:

@@ -1,0 +1,48 @@
+"""JSONL journal: append, read-back, torn-line tolerance, summaries."""
+
+from repro.service.journal import JobJournal
+
+
+class TestJournal:
+    def test_append_and_read_round_trip(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with JobJournal(path) as journal:
+            journal.append("submitted", key="k1", name="a")
+            journal.append("completed", key="k1", name="a", elapsed_s=0.5)
+        events = JobJournal.read(path)
+        assert [e["event"] for e in events] == ["submitted", "completed"]
+        assert all("ts" in e for e in events)
+        assert events[1]["elapsed_s"] == 0.5
+
+    def test_appends_across_instances_accumulate(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with JobJournal(path) as j:
+            j.append("sweep_start")
+        with JobJournal(path) as j:
+            j.append("sweep_end")
+        assert len(JobJournal.read(path)) == 2
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert JobJournal.read(tmp_path / "nope.jsonl") == []
+        assert not JobJournal.summary(tmp_path / "nope.jsonl")
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with JobJournal(path) as j:
+            j.append("completed", key="k")
+        with open(path, "a", encoding="utf-8") as f:
+            f.write('{"ts": 1.0, "event": "trunc')  # killed mid-write
+        events = JobJournal.read(path)
+        assert [e["event"] for e in events] == ["completed"]
+
+    def test_summary_counts_and_since_filter(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with JobJournal(path) as j:
+            j.append("cache_hit")
+            j.append("cache_hit")
+            cut = j.append("completed")["ts"]
+            j.append("cache_hit")
+        counts = JobJournal.summary(path)
+        assert counts["cache_hit"] == 3 and counts["completed"] == 1
+        late = JobJournal.summary(path, since_ts=cut)
+        assert late["cache_hit"] == 1

@@ -26,6 +26,27 @@ class TestParser:
         )
         assert args.quick and args.only == "fig5"
 
+    def test_experiments_seed_flag(self):
+        args = build_parser().parse_args(["experiments", "--seed", "7"])
+        assert args.seed == 7
+
+    def test_batch_flags(self):
+        args = build_parser().parse_args(
+            ["batch", "--quick", "--only", "fig5", "--jobs", "2",
+             "--seed", "3", "--cache-dir", "/tmp/c", "--no-cache"]
+        )
+        assert args.command == "batch"
+        assert args.quick and args.only == "fig5" and args.jobs == 2
+        assert args.seed == 3 and args.cache_dir == "/tmp/c" and args.no_cache
+
+    def test_cache_defaults_to_stats(self):
+        args = build_parser().parse_args(["cache"])
+        assert args.action == "stats"
+
+    def test_cache_rejects_bad_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "nope"])
+
     def test_command_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -59,6 +80,36 @@ class TestDispatch:
         assert main(["experiments", "--only", "nope"]) == 2
 
 
+class TestBatchDispatch:
+    def test_batch_sweeps_through_pool_and_caches(self, tmp_path, capsys):
+        from repro.service.journal import JobJournal
+
+        argv = ["batch", "--quick", "--only", "tables,fig5", "--jobs", "2",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "PIM rate" in out
+        assert "2 executed" in out
+        # Second invocation is served from the result cache.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2 cached" in out and "0 failed" in out
+        counts = JobJournal.summary(tmp_path / "journal.jsonl")
+        assert counts["cache_hit"] == 2 and counts["completed"] == 2
+
+    def test_cache_stats_and_clear(self, tmp_path, capsys):
+        main(["batch", "--quick", "--only", "tables", "--jobs", "1",
+              "--cache-dir", str(tmp_path)])
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries   : 1" in out and "journal" in out
+        assert main(["cache", "ls", "--cache-dir", str(tmp_path)]) == 0
+        assert "tables" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 1" in capsys.readouterr().out
+
+
 class TestRunnerArtifacts:
     def test_out_dir_written(self, tmp_path, capsys):
         from repro.experiments import runner
@@ -68,3 +119,18 @@ class TestRunnerArtifacts:
         assert (tmp_path / "tables.txt").exists()
         fig5 = (tmp_path / "fig5.txt").read_text()
         assert "PIM rate" in fig5
+
+    def test_run_experiment_by_id(self):
+        from repro.experiments import runner
+        from repro.experiments.common import RunScale
+
+        text = runner.run_experiment("fig5", RunScale.quick())
+        assert "PIM rate" in text
+        with pytest.raises(KeyError):
+            runner.run_experiment("nope")
+
+    def test_seed_flows_into_scale(self):
+        from repro.experiments.common import RunScale, scaled_workload
+
+        w = scaled_workload("pagerank", RunScale.quick(seed=11))
+        assert w.seed == 11
