@@ -49,9 +49,7 @@ def run(skews: Sequence[float] = DEFAULT_SKEWS) -> HotspotSweep:
     temps: List[float] = []
     for skew in skews:
         weights = vault_weights_for_skew(model.config.num_vaults, skew)
-        T = model.steady_state(traffic, vault_weights=weights)
-        names = [f"dram{i}" for i in range(model.config.num_dram_dies)]
-        temps.append(model._peak_over_layers(T, names))
+        temps.append(model.steady_peak_dram_c(traffic, vault_weights=weights))
     return HotspotSweep(
         skews=list(skews),
         peak_temps_c=temps,

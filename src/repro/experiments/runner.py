@@ -110,6 +110,7 @@ def sweep_texts_parallel(
         ResultStore,
         experiment_spec,
     )
+    from repro.service.handlers import prewarm_worker
     from repro.service.store import default_cache_dir
 
     specs = [
@@ -122,7 +123,8 @@ def sweep_texts_parallel(
     store = ResultStore(root=root)
     with JobJournal(store.root / "journal.jsonl") as journal:
         scheduler = JobScheduler(
-            store=store, journal=journal, max_workers=jobs, use_cache=use_cache
+            store=store, journal=journal, max_workers=jobs, use_cache=use_cache,
+            worker_initializer=prewarm_worker,
         )
         report = scheduler.run(specs)
 

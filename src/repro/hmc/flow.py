@@ -127,6 +127,10 @@ class HmcFlowModel:
     ) -> None:
         if internal_peak_gbs <= 0:
             raise ValueError(f"internal bandwidth must be positive: {internal_peak_gbs}")
+        if fu_rate_per_vault_gops <= 0:
+            raise ValueError(
+                f"FU rate must be positive: {fu_rate_per_vault_gops}"
+            )
         self.config = config
         self.policy = phase_policy or TemperaturePhasePolicy()
         self.internal_peak_gbs = internal_peak_gbs

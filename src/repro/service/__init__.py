@@ -30,6 +30,7 @@ Quickstart::
 from repro.service.fingerprint import code_fingerprint
 from repro.service.handlers import (
     experiment_spec,
+    prewarm_worker,
     run_experiment_job,
     run_simulation_job,
     simulation_spec,
@@ -65,6 +66,7 @@ __all__ = [
     "code_fingerprint",
     "default_cache_dir",
     "experiment_spec",
+    "prewarm_worker",
     "register_handler",
     "resolve_handler",
     "run_experiment_job",

@@ -14,6 +14,26 @@ from repro.experiments.common import RunScale
 from repro.service.jobs import JobSpec
 
 
+def prewarm_worker() -> None:
+    """Warm process-level caches a sweep worker will need.
+
+    Assembles the shared thermal operators (RC network + steady LU +
+    control-quantum step LU, :mod:`repro.thermal.operators`) for the
+    default HMC 2.0 package under every Table II cooling solution, so
+    the first job on each worker skips network assembly and
+    factorization entirely. Passed to
+    :class:`~repro.service.scheduler.JobScheduler` as
+    ``worker_initializer``; under a fork start method the scheduler runs
+    it once in the parent and workers inherit the warm cache.
+    """
+    from repro.hmc.config import HMC_2_0
+    from repro.thermal.cooling import COOLING_SOLUTIONS
+    from repro.thermal.operators import prewarm
+
+    for cooling in COOLING_SOLUTIONS.values():
+        prewarm(HMC_2_0, cooling)
+
+
 def experiment_spec(
     name: str,
     scale: Optional[RunScale] = None,

@@ -167,6 +167,14 @@ class JobScheduler:
         results back to the store.
     backoff_s:
         Base of the exponential retry backoff.
+    worker_initializer:
+        Optional zero-argument callable run once in every pool worker
+        (and, under a fork start method, once in the parent before the
+        pool is created, so forked workers inherit any warmed
+        process-level caches — e.g.
+        :func:`repro.service.handlers.prewarm_worker`, which assembles
+        the shared thermal operators). Must be picklable
+        (module-level) for spawn-based pools.
     """
 
     def __init__(
@@ -178,6 +186,7 @@ class JobScheduler:
         use_cache: bool = True,
         backoff_s: float = DEFAULT_BACKOFF_S,
         mp_start_method: Optional[str] = None,
+        worker_initializer: Optional[Any] = None,
     ) -> None:
         self.store = store
         self.journal = journal
@@ -186,6 +195,7 @@ class JobScheduler:
         self.use_cache = use_cache
         self.backoff_s = backoff_s
         self.mp_start_method = mp_start_method
+        self.worker_initializer = worker_initializer
 
     # -- journal helper ---------------------------------------------------
 
@@ -347,6 +357,17 @@ class JobScheduler:
 
     def _new_executor(self, ctx, n_jobs: int) -> ProcessPoolExecutor:
         workers = self.max_workers or min(os.cpu_count() or 2, max(n_jobs, 1))
+        if self.worker_initializer is not None:
+            # Under fork, warm process-level caches (shared thermal
+            # operators etc.) in the parent first: every worker then
+            # inherits the warmed state instead of rebuilding it.
+            method = ctx.get_start_method() if ctx else multiprocessing.get_start_method()
+            if method == "fork":
+                self.worker_initializer()
+            return ProcessPoolExecutor(
+                max_workers=workers, mp_context=ctx,
+                initializer=self.worker_initializer,
+            )
         return ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
 
     def _run_pool(self, pending: Sequence[JobSpec], report: SweepReport) -> None:

@@ -42,11 +42,18 @@ class Event:
     )
 
     def cancel(self) -> None:
-        """Mark the event so the engine skips it when popped."""
+        """Mark the event so the engine skips it when popped.
+
+        Safe to call at any time: cancelling an event that already fired,
+        was already cancelled, or was orphaned by :meth:`EventEngine.reset`
+        is a no-op (the engine detaches itself from events it has finished
+        with, so the live count can never be decremented twice).
+        """
         if not self.cancelled:
             self.cancelled = True
             if self._engine is not None:
                 self._engine._live -= 1
+                self._engine = None
 
 
 class EventEngine:
@@ -122,6 +129,9 @@ class EventEngine:
             if ev.cancelled:
                 continue
             self._live -= 1
+            # Detach: a late cancel() on a fired event must not decrement
+            # the live count again.
+            ev._engine = None
             self._now = ev.time
             ev.callback()
             return True
@@ -132,26 +142,38 @@ class EventEngine:
         ``max_events`` have fired. Returns the number of events executed.
 
         When ``until`` is given, the engine stops *before* executing any
-        event with ``time > until`` and advances ``now`` to ``until``.
+        event with ``time > until``, and ``now`` advances to ``until``
+        if and only if no pending event at ``time <= until`` remains —
+        i.e. the interval was fully simulated. A run truncated by
+        ``max_events`` with work still pending inside the interval leaves
+        ``now`` at the last executed event, so callers can resume with
+        another :meth:`run` call without skipping simulated time.
         """
         count = 0
-        while self._queue:
+        while True:
             if max_events is not None and count >= max_events:
-                return count
+                break
             t = self.peek_time()
             if t is None:
                 break
             if until is not None and t > until:
-                self._now = until
-                return count
+                break
             self.step()
             count += 1
         if until is not None and until > self._now:
-            self._now = until
+            t = self.peek_time()
+            if t is None or t > until:
+                self._now = until
         return count
 
     def reset(self) -> None:
-        """Drop all pending events and rewind the clock to zero."""
+        """Drop all pending events and rewind the clock to zero.
+
+        Orphaned events are detached first, so cancelling a stale handle
+        from before the reset cannot corrupt the new live count.
+        """
+        for ev in self._queue:
+            ev._engine = None
         self._queue.clear()
         self._now = 0.0
         self._seq = 0

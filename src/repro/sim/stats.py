@@ -77,6 +77,7 @@ class TimeWeightedStat:
 
     def __init__(self, name: str = "", initial: float = 0.0, start_time: float = 0.0):
         self.name = name
+        self.initial = initial
         self._value = initial
         self._last_time = start_time
         self._weighted_sum = 0.0
@@ -183,6 +184,11 @@ class StatRegistry:
             self._stats[full] = stat
         if not isinstance(stat, TimeWeightedStat):
             raise TypeError(f"stat {full!r} already registered as {type(stat).__name__}")
+        if stat.initial != initial:
+            raise ValueError(
+                f"stat {full!r} already registered with initial="
+                f"{stat.initial}, conflicting with initial={initial}"
+            )
         return stat
 
     def histogram(self, name: str, lo: float, hi: float, nbins: int) -> Histogram:
@@ -193,6 +199,12 @@ class StatRegistry:
             self._stats[full] = stat
         if not isinstance(stat, Histogram):
             raise TypeError(f"stat {full!r} already registered as {type(stat).__name__}")
+        if (stat.lo, stat.hi, stat.nbins) != (lo, hi, nbins):
+            raise ValueError(
+                f"stat {full!r} already registered with bins "
+                f"[{stat.lo}, {stat.hi})x{stat.nbins}, conflicting with "
+                f"[{lo}, {hi})x{nbins}"
+            )
         return stat
 
     def _get_or_create(self, name: str, cls):

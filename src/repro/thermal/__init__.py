@@ -20,6 +20,7 @@ from repro.thermal.cooling import (
     fan_power_w,
 )
 from repro.thermal.model import HmcThermalModel
+from repro.thermal.operators import ThermalOperators, get_operators, prewarm
 from repro.thermal.power import PowerModel, TrafficPoint
 from repro.thermal.sensor import ThermalSensor
 
@@ -32,7 +33,10 @@ __all__ = [
     "LOW_END_ACTIVE",
     "PASSIVE",
     "PowerModel",
+    "ThermalOperators",
     "ThermalSensor",
     "TrafficPoint",
     "fan_power_w",
+    "get_operators",
+    "prewarm",
 ]

@@ -20,6 +20,7 @@ import numpy as np
 from repro.hmc.config import HMC_2_0, HmcConfig
 from repro.thermal.cooling import COMMODITY_SERVER, CoolingSolution
 from repro.thermal.floorplan import Floorplan
+from repro.thermal.operators import get_operators
 from repro.thermal.power import PowerModel, TrafficPoint
 from repro.thermal.rc_network import DEFAULT_INTERFACE_SCALE, RcNetwork, build_network
 from repro.thermal.solver import SteadySolver, TransientSolver
@@ -27,7 +28,16 @@ from repro.thermal.stack import StackSpec, build_stack
 
 
 class HmcThermalModel:
-    """Compact thermal model of one HMC package under a cooling solution."""
+    """Compact thermal model of one HMC package under a cooling solution.
+
+    By default the expensive operators (assembled RC network, steady LU,
+    per-dt step LUs) come from the process-level cache in
+    :mod:`repro.thermal.operators`, so the dozens of models a sweep
+    constructs share one assembly and factorization per package/cooling
+    combination. Transient state is always per-instance. Pass
+    ``share_operators=False`` to build private copies (e.g. when mutating
+    network matrices in calibration studies).
+    """
 
     def __init__(
         self,
@@ -37,21 +47,35 @@ class HmcThermalModel:
         sub: int = 2,
         power_model: Optional[PowerModel] = None,
         interface_scale: float = DEFAULT_INTERFACE_SCALE,
+        share_operators: bool = True,
     ) -> None:
         self.config = config
         self.cooling = cooling
         self.ambient_c = ambient_c
-        self.stack: StackSpec = build_stack(config)
-        self.floorplan = Floorplan.for_config(config, sub=sub)
         self.power = power_model or PowerModel(config)
-        self.network: RcNetwork = build_network(
-            self.stack,
-            self.floorplan,
-            sink_resistance_c_w=cooling.thermal_resistance_c_w,
-            interface_scale=interface_scale,
-        )
-        self._steady = SteadySolver(self.network, ambient_c=ambient_c)
-        self._transient = TransientSolver(self.network, ambient_c=ambient_c)
+        if share_operators:
+            ops = get_operators(
+                config, cooling, sub=sub,
+                interface_scale=interface_scale, ambient_c=ambient_c,
+            )
+            self.stack: StackSpec = ops.stack
+            self.floorplan = ops.floorplan
+            self.network: RcNetwork = ops.network
+            self._steady = ops.steady
+            self._transient = TransientSolver(
+                self.network, ambient_c=ambient_c, lu_cache=ops.step_lus
+            )
+        else:
+            self.stack = build_stack(config)
+            self.floorplan = Floorplan.for_config(config, sub=sub)
+            self.network = build_network(
+                self.stack,
+                self.floorplan,
+                sink_resistance_c_w=cooling.thermal_resistance_c_w,
+                interface_scale=interface_scale,
+            )
+            self._steady = SteadySolver(self.network, ambient_c=ambient_c)
+            self._transient = TransientSolver(self.network, ambient_c=ambient_c)
         self._last_T: Optional[np.ndarray] = None
 
     # -- power plumbing ---------------------------------------------------------
@@ -135,9 +159,11 @@ class HmcThermalModel:
             float(net.layer_temps(T, net.layer_index[n]).max()) for n in names
         )
 
-    def steady_peak_dram_c(self, traffic: TrafficPoint) -> float:
+    def steady_peak_dram_c(
+        self, traffic: TrafficPoint, vault_weights: Optional[np.ndarray] = None
+    ) -> float:
         """Peak DRAM-die temperature at steady state (Fig. 4/5 metric)."""
-        T = self.steady_state(traffic)
+        T = self.steady_state(traffic, vault_weights)
         names = [f"dram{i}" for i in range(self.config.num_dram_dies)]
         return self._peak_over_layers(T, names)
 
@@ -189,6 +215,26 @@ class HmcThermalModel:
         """
         P = self._power_vector(traffic, vault_weights, dram_energy_scale)
         T = self._transient.step(P, dt_s)
+        self._last_T = T
+        names = [f"dram{i}" for i in range(self.config.num_dram_dies)]
+        return self._peak_over_layers(T, names)
+
+    def settle(
+        self,
+        traffic: TrafficPoint,
+        dt_s: float = 25e-6,
+        tol_c: float = 1e-4,
+        vault_weights: Optional[np.ndarray] = None,
+        dram_energy_scale: float = 1.0,
+    ) -> float:
+        """Integrate at constant traffic until the transient settles.
+
+        Runs the batched constant-power fast path
+        (:meth:`TransientSolver.run_to_steady`) instead of stepping the
+        control loop; returns the settled peak DRAM temperature (°C).
+        """
+        P = self._power_vector(traffic, vault_weights, dram_energy_scale)
+        T, _ = self._transient.run_to_steady(P, dt_s, tol_c=tol_c)
         self._last_T = T
         names = [f"dram{i}" for i in range(self.config.num_dram_dies)]
         return self._peak_over_layers(T, names)

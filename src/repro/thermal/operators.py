@@ -1,0 +1,129 @@
+"""Process-level shared thermal operators.
+
+A parameter sweep (``repro batch``, the evaluation matrix, sensitivity
+studies) constructs dozens of :class:`~repro.thermal.model.HmcThermalModel`
+instances whose expensive pieces — the assembled RC network and the sparse
+LU factorizations — depend only on ``(config, cooling, sub,
+interface_scale, ambient, board_resistance)``. This module memoizes those
+pieces per process so every model over the same physical package reuses
+one assembly, one steady-state factorization, and one bounded per-dt step
+factorization cache.
+
+Sharing is safe because all shared state is immutable after construction:
+the network matrices are never mutated, :class:`SteadySolver` is stateless
+after its LU, and :class:`StepLuCache` only ever *adds* factorizations.
+Mutable integration state (``TransientSolver.T``) stays per-model.
+
+The job service forks its pool workers (where the platform allows), so
+operators warmed in the parent — see :func:`prewarm` and the scheduler's
+``worker_initializer`` — are inherited by every worker for free; under a
+spawn start method each worker warms its own cache on first use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.hmc.config import HmcConfig
+from repro.thermal.cooling import CoolingSolution
+from repro.thermal.floorplan import Floorplan
+from repro.thermal.rc_network import (
+    BOARD_RESISTANCE_C_W,
+    DEFAULT_INTERFACE_SCALE,
+    RcNetwork,
+    build_network,
+)
+from repro.thermal.solver import StepLuCache, SteadySolver
+from repro.thermal.stack import StackSpec, build_stack
+
+#: (config, cooling, sub, interface_scale, ambient, board_resistance)
+OperatorKey = Tuple[HmcConfig, CoolingSolution, int, float, float, float]
+
+
+@dataclass
+class ThermalOperators:
+    """Immutable-after-construction operator bundle for one package."""
+
+    stack: StackSpec
+    floorplan: Floorplan
+    network: RcNetwork
+    steady: SteadySolver
+    step_lus: StepLuCache
+
+
+_CACHE: Dict[OperatorKey, ThermalOperators] = {}
+_HITS = 0
+_MISSES = 0
+
+
+def get_operators(
+    config: HmcConfig,
+    cooling: CoolingSolution,
+    sub: int = 2,
+    interface_scale: float = DEFAULT_INTERFACE_SCALE,
+    ambient_c: float = 25.0,
+    board_resistance_c_w: float = BOARD_RESISTANCE_C_W,
+) -> ThermalOperators:
+    """Memoized network + solver operators for one package/cooling combo."""
+    global _HITS, _MISSES
+    key: OperatorKey = (
+        config,
+        cooling,
+        int(sub),
+        float(interface_scale),
+        float(ambient_c),
+        float(board_resistance_c_w),
+    )
+    ops = _CACHE.get(key)
+    if ops is not None:
+        _HITS += 1
+        return ops
+    _MISSES += 1
+    stack = build_stack(config)
+    floorplan = Floorplan.for_config(config, sub=sub)
+    network = build_network(
+        stack,
+        floorplan,
+        sink_resistance_c_w=cooling.thermal_resistance_c_w,
+        interface_scale=interface_scale,
+        board_resistance_c_w=board_resistance_c_w,
+    )
+    ops = ThermalOperators(
+        stack=stack,
+        floorplan=floorplan,
+        network=network,
+        steady=SteadySolver(network, ambient_c=ambient_c),
+        step_lus=StepLuCache(network),
+    )
+    _CACHE[key] = ops
+    return ops
+
+
+def prewarm(
+    config: HmcConfig,
+    cooling: CoolingSolution,
+    control_dt_s: float = 25e-6,
+    **kwargs,
+) -> ThermalOperators:
+    """Build operators ahead of use, including the control-quantum step LU.
+
+    Called in the job-service parent before the pool forks (and per worker
+    as the pool initializer) so simulation jobs start with a hot cache.
+    """
+    ops = get_operators(config, cooling, **kwargs)
+    ops.step_lus.get(control_dt_s)
+    return ops
+
+
+def cache_stats() -> Dict[str, int]:
+    """Process-level cache counters (diagnostics and tests)."""
+    return {"entries": len(_CACHE), "hits": _HITS, "misses": _MISSES}
+
+
+def clear_cache() -> None:
+    """Drop all shared operators (tests and long-lived tooling)."""
+    global _HITS, _MISSES
+    _CACHE.clear()
+    _HITS = 0
+    _MISSES = 0

@@ -100,6 +100,65 @@ class RcNetwork:
         return P
 
 
+def _validate_build_args(sink_resistance_c_w: float, interface_scale: float) -> None:
+    if sink_resistance_c_w <= 0:
+        raise ValueError(f"sink resistance must be positive: {sink_resistance_c_w}")
+    if interface_scale <= 0:
+        raise ValueError(f"interface scale must be positive: {interface_scale}")
+
+
+def _lateral_conductances(
+    layers, dx: float, dy: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-layer neighbour conductances (g_x, g_y) as arrays over layers."""
+    k = np.array([layer.material.conductivity_w_mk for layer in layers])
+    t = np.array([layer.thickness_m for layer in layers])
+    return k * t * dy / dx, k * t * dx / dy
+
+
+def _vertical_conductances(
+    layers, cell_area: float, interface_scale: float
+) -> np.ndarray:
+    """Per-interface conductance between adjacent layers (length nl-1)."""
+    r_half = 0.5 * np.array(
+        [layer.vertical_resistance_k_w(cell_area) for layer in layers]
+    )
+    r = r_half[:-1] + r_half[1:]
+    is_iface = np.array(
+        [layer.name.startswith(("bond", "tim")) for layer in layers]
+    )
+    r[is_iface[:-1] | is_iface[1:]] *= interface_scale
+    return 1.0 / r
+
+
+def _boundary_vector(
+    nl: int, nc: int, sink_resistance_c_w: float, board_resistance_c_w: float
+) -> np.ndarray:
+    """Boundary conductances: heat sink above the top layer, weak board
+    path below the bottom layer. A total resistance R spread over nc
+    parallel cells is R*nc per cell."""
+    B = np.zeros(nl * nc)
+    B[(nl - 1) * nc :] += 1.0 / (sink_resistance_c_w * nc)
+    B[:nc] += 1.0 / (board_resistance_c_w * nc)
+    return B
+
+
+def _capacitance_vector(layers, nc: int, cell_area: float) -> np.ndarray:
+    """Heat capacities (with transient calibration scales, see above)."""
+    cap = np.array(
+        [
+            layer.heat_capacity_j_k(cell_area)
+            * (
+                SPREADER_CAPACITANCE_SCALE
+                if layer.name == "spreader"
+                else DIE_CAPACITANCE_SCALE
+            )
+            for layer in layers
+        ]
+    )
+    return np.repeat(cap, nc)
+
+
 def build_network(
     stack: StackSpec,
     floorplan: Floorplan,
@@ -107,11 +166,83 @@ def build_network(
     interface_scale: float = DEFAULT_INTERFACE_SCALE,
     board_resistance_c_w: float = BOARD_RESISTANCE_C_W,
 ) -> RcNetwork:
-    """Build G, C, B for a stack/floorplan/heat-sink combination."""
-    if sink_resistance_c_w <= 0:
-        raise ValueError(f"sink resistance must be positive: {sink_resistance_c_w}")
-    if interface_scale <= 0:
-        raise ValueError(f"interface scale must be positive: {interface_scale}")
+    """Build G, C, B for a stack/floorplan/heat-sink combination.
+
+    Assembly is pure numpy index arithmetic — no per-cell Python loops —
+    and produces the same matrices as :func:`build_network_reference`
+    (the readable loop formulation kept as the specification).
+    """
+    _validate_build_args(sink_resistance_c_w, interface_scale)
+
+    fp = floorplan
+    layers = stack.layers
+    nl, nc = len(layers), fp.num_cells
+    n = nl * nc
+    nx, ny = fp.nx, fp.ny
+    cell_area = fp.cell_area_m2
+
+    g_x, g_y = _lateral_conductances(layers, fp.cell_dx_m, fp.cell_dy_m)
+    g_v = _vertical_conductances(layers, cell_area, interface_scale)
+
+    # Edge endpoint indices, vectorized per edge family. Cells are numbered
+    # iy*nx + ix within a layer; layer l occupies [l*nc, (l+1)*nc).
+    cell = np.arange(nc).reshape(ny, nx)
+    layer_off = np.arange(nl)[:, None] * nc
+
+    # x-neighbours: (l, ix, iy) — (l, ix+1, iy), for ix+1 < nx.
+    ex = (layer_off + cell[:, :-1].ravel()).ravel()
+    ex_g = np.repeat(g_x, ny * (nx - 1))
+    # y-neighbours: (l, ix, iy) — (l, ix, iy+1), for iy+1 < ny.
+    ey = (layer_off + cell[:-1, :].ravel()).ravel()
+    ey_g = np.repeat(g_y, (ny - 1) * nx)
+    # vertical: (l, ix, iy) — (l+1, ix, iy) for every interface l.
+    ev = (layer_off[:-1] + cell.ravel()).ravel()
+    ev_g = np.repeat(g_v, nc)
+
+    edge_a = np.concatenate((ex, ey, ev))
+    edge_b = np.concatenate((ex + 1, ey + nx, ev + nc))
+    edge_g = np.concatenate((ex_g, ey_g, ev_g))
+
+    # Degree (diagonal) accumulation; each edge contributes g at both ends.
+    diag = np.zeros(n)
+    np.add.at(diag, edge_a, edge_g)
+    np.add.at(diag, edge_b, edge_g)
+
+    B = _boundary_vector(nl, nc, sink_resistance_c_w, board_resistance_c_w)
+
+    G = sp.csr_matrix(
+        sp.coo_matrix(
+            (
+                np.concatenate((edge_g * -1.0, edge_g * -1.0, diag + B)),
+                (
+                    np.concatenate((edge_a, edge_b, np.arange(n))),
+                    np.concatenate((edge_b, edge_a, np.arange(n))),
+                ),
+            ),
+            shape=(n, n),
+        )
+    )
+
+    C = _capacitance_vector(layers, nc, cell_area)
+    layer_index = {layer.name: i for i, layer in enumerate(layers)}
+    return RcNetwork(
+        stack=stack, floorplan=fp, G=G, C=C, B=B, layer_index=layer_index
+    )
+
+
+def build_network_reference(
+    stack: StackSpec,
+    floorplan: Floorplan,
+    sink_resistance_c_w: float,
+    interface_scale: float = DEFAULT_INTERFACE_SCALE,
+    board_resistance_c_w: float = BOARD_RESISTANCE_C_W,
+) -> RcNetwork:
+    """Per-cell loop assembly — the readable specification.
+
+    Retained for the equivalence tests and the assembly benchmark;
+    production code uses the vectorized :func:`build_network`.
+    """
+    _validate_build_args(sink_resistance_c_w, interface_scale)
 
     fp = floorplan
     layers = stack.layers

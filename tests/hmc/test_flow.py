@@ -65,6 +65,21 @@ class TestServiceTime:
         assert t == pytest.approx(10_000 / (32 * 0.001))
 
 
+class TestConstructorValidation:
+    def test_internal_bandwidth_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HmcFlowModel(HMC_2_0, internal_peak_gbs=0.0)
+
+    def test_fu_rate_must_be_positive(self):
+        # Regression: a zero/negative FU rate used to be accepted and only
+        # surfaced later as a ZeroDivisionError inside service_time_ns on
+        # the first PIM op, mid-simulation.
+        with pytest.raises(ValueError):
+            HmcFlowModel(HMC_2_0, fu_rate_per_vault_gops=0.0)
+        with pytest.raises(ValueError):
+            HmcFlowModel(HMC_2_0, fu_rate_per_vault_gops=-1.0)
+
+
 class TestDerating:
     def test_normal_phase_no_derating(self, flow):
         flow.update_phase(70.0)

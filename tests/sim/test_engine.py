@@ -95,6 +95,52 @@ class TestCancellation:
         assert eng.peek_time() == 4.0
 
 
+class TestLiveCounterIntegrity:
+    """Regression: stray cancel() calls must never corrupt len(engine)."""
+
+    def test_cancel_after_fire_does_not_drift_negative(self):
+        eng = EventEngine()
+        ev = eng.schedule(1.0, lambda: None)
+        eng.run()
+        assert len(eng) == 0
+        ev.cancel()
+        assert len(eng) == 0
+
+    def test_cancel_fired_event_does_not_affect_later_events(self):
+        eng = EventEngine()
+        ev = eng.schedule(1.0, lambda: None)
+        eng.run()
+        ev.cancel()
+        eng.schedule(2.0, lambda: None)
+        assert len(eng) == 1
+
+    def test_cancel_orphaned_by_reset_is_noop(self):
+        eng = EventEngine()
+        ev = eng.schedule(1.0, lambda: None)
+        eng.reset()
+        ev.cancel()
+        assert len(eng) == 0
+        eng.schedule(1.0, lambda: None)
+        ev.cancel()  # still a no-op against the new population
+        assert len(eng) == 1
+
+    def test_double_cancel_decrements_once(self):
+        eng = EventEngine()
+        ev = eng.schedule(1.0, lambda: None)
+        eng.schedule(2.0, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        assert len(eng) == 1
+
+    def test_cancel_inside_own_callback_is_noop(self):
+        eng = EventEngine()
+        holder = {}
+        holder["ev"] = eng.schedule(1.0, lambda: holder["ev"].cancel())
+        eng.schedule(2.0, lambda: None)
+        eng.step()
+        assert len(eng) == 1
+
+
 class TestRunControl:
     def test_run_until_stops_before_later_events(self):
         eng = EventEngine()
@@ -117,6 +163,38 @@ class TestRunControl:
             eng.schedule(float(i), lambda i=i: out.append(i))
         assert eng.run(max_events=3) == 3
         assert out == [0, 1, 2]
+
+    def test_max_events_with_pending_work_does_not_advance_to_until(self):
+        # Regression: a run truncated by max_events with events still
+        # pending inside [now, until] must not skip ahead to until.
+        eng = EventEngine()
+        for i in range(1, 8):
+            eng.schedule(float(i), lambda: None)
+        count = eng.run(until=10.0, max_events=3)
+        assert count == 3
+        assert eng.now == 3.0
+
+    def test_max_events_advances_to_until_when_interval_drained(self):
+        # Regression: budget exhausted exactly on the last event inside
+        # the window — the interval is fully simulated, so now == until.
+        eng = EventEngine()
+        eng.schedule(1.0, lambda: None)
+        eng.schedule(2.0, lambda: None)
+        eng.schedule(20.0, lambda: None)
+        count = eng.run(until=10.0, max_events=2)
+        assert count == 2
+        assert eng.now == 10.0
+        assert len(eng) == 1
+
+    def test_truncated_run_resumes_without_skipping_time(self):
+        eng = EventEngine()
+        fired = []
+        for i in range(1, 6):
+            eng.schedule(float(i), lambda i=i: fired.append(i))
+        eng.run(until=10.0, max_events=2)
+        eng.run(until=10.0)
+        assert fired == [1, 2, 3, 4, 5]
+        assert eng.now == 10.0
 
     def test_step_returns_false_on_empty(self):
         eng = EventEngine()

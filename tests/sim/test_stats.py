@@ -130,6 +130,37 @@ class TestRegistry:
         with pytest.raises(TypeError):
             reg.histogram("x", 0, 1, 2)
 
+    def test_time_weighted_reregistration_same_params_ok(self):
+        reg = StatRegistry()
+        tw = reg.time_weighted("x", initial=2.0)
+        assert reg.time_weighted("x", initial=2.0) is tw
+
+    def test_time_weighted_conflicting_initial_raises(self):
+        # Regression: a mismatched initial used to be silently ignored,
+        # leaving the second caller with a stat biased by someone else's
+        # starting level.
+        reg = StatRegistry()
+        reg.time_weighted("x", initial=1.0)
+        with pytest.raises(ValueError, match="initial"):
+            reg.time_weighted("x", initial=2.0)
+
+    def test_histogram_reregistration_same_params_ok(self):
+        reg = StatRegistry()
+        h = reg.histogram("h", 0.0, 10.0, 5)
+        assert reg.histogram("h", 0.0, 10.0, 5) is h
+
+    def test_histogram_conflicting_bins_raise(self):
+        # Regression: mismatched lo/hi/nbins were silently ignored, so
+        # samples landed in someone else's binning.
+        reg = StatRegistry()
+        reg.histogram("h", 0.0, 10.0, 5)
+        with pytest.raises(ValueError, match="bins"):
+            reg.histogram("h", 0.0, 20.0, 5)
+        with pytest.raises(ValueError, match="bins"):
+            reg.histogram("h", 0.0, 10.0, 8)
+        with pytest.raises(ValueError, match="bins"):
+            reg.histogram("h", 1.0, 10.0, 5)
+
     def test_snapshot_flattens_scalars(self):
         reg = StatRegistry()
         reg.counter("c").add(2)

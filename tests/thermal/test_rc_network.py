@@ -4,9 +4,9 @@ import numpy as np
 import pytest
 import scipy.sparse as sp
 
-from repro.hmc.config import HMC_2_0
+from repro.hmc.config import HMC_1_1, HMC_2_0
 from repro.thermal.floorplan import Floorplan
-from repro.thermal.rc_network import build_network
+from repro.thermal.rc_network import build_network, build_network_reference
 from repro.thermal.stack import build_stack
 
 
@@ -106,3 +106,44 @@ class TestValidation:
         fp = Floorplan.for_config(HMC_2_0)
         with pytest.raises(ValueError):
             build_network(stack, fp, 0.5, interface_scale=0.0)
+
+    def test_reference_validates_too(self):
+        stack = build_stack(HMC_2_0)
+        fp = Floorplan.for_config(HMC_2_0)
+        with pytest.raises(ValueError):
+            build_network_reference(stack, fp, sink_resistance_c_w=-1.0)
+
+
+class TestVectorizedEquivalence:
+    """The vectorized assembly must reproduce the loop specification."""
+
+    @pytest.mark.parametrize(
+        "config,sub", [(HMC_2_0, 1), (HMC_2_0, 2), (HMC_2_0, 4), (HMC_1_1, 3)]
+    )
+    def test_matches_reference(self, config, sub):
+        stack = build_stack(config)
+        fp = Floorplan.for_config(config, sub=sub)
+        vec = build_network(stack, fp, sink_resistance_c_w=0.5)
+        ref = build_network_reference(stack, fp, sink_resistance_c_w=0.5)
+
+        assert np.array_equal(vec.C, ref.C)
+        assert np.array_equal(vec.B, ref.B)
+        assert vec.layer_index == ref.layer_index
+        # Same sparsity pattern, entries equal to within summation-order
+        # rounding (the diagonal sums up to 6 conductances per node).
+        assert vec.G.nnz == ref.G.nnz
+        diff = abs(vec.G - ref.G).max()
+        assert diff <= 1e-12 * abs(ref.G).max()
+
+    def test_matches_reference_nondefault_boundaries(self):
+        stack = build_stack(HMC_2_0)
+        fp = Floorplan.for_config(HMC_2_0, sub=2)
+        kwargs = dict(
+            sink_resistance_c_w=2.0,
+            interface_scale=1.3,
+            board_resistance_c_w=40.0,
+        )
+        vec = build_network(stack, fp, **kwargs)
+        ref = build_network_reference(stack, fp, **kwargs)
+        assert np.array_equal(vec.B, ref.B)
+        assert abs(vec.G - ref.G).max() <= 1e-12 * abs(ref.G).max()

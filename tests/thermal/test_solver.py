@@ -6,7 +6,7 @@ import pytest
 from repro.hmc.config import HMC_2_0
 from repro.thermal.floorplan import Floorplan
 from repro.thermal.rc_network import build_network
-from repro.thermal.solver import SteadySolver, TransientSolver
+from repro.thermal.solver import StepLuCache, SteadySolver, TransientSolver
 from repro.thermal.stack import build_stack
 
 
@@ -96,6 +96,33 @@ class TestTransient:
         trans.step(P, 2e-3)
         assert len(trans._lus) == 2
 
+    def test_run_matches_stepping(self, network):
+        P = np.zeros(network.num_nodes)
+        P[network.layer_slice(0)] = 20.0 / network.cells_per_layer
+        a = TransientSolver(network)
+        b = TransientSolver(network)
+        a.run(P, duration_s=0.02, dt_s=1e-3)
+        for _ in range(20):
+            b.step(P, 1e-3)
+        assert np.allclose(a.T, b.T, rtol=0, atol=1e-9)
+
+    def test_run_to_steady_converges_and_reports_steps(self, network):
+        P = np.zeros(network.num_nodes)
+        P[network.layer_slice(0)] = 20.0 / network.cells_per_layer
+        steady = SteadySolver(network).solve(P)
+        trans = TransientSolver(network)
+        T, steps = trans.run_to_steady(P, dt_s=1e-3, tol_c=1e-6)
+        assert 0 < steps < 100_000
+        assert np.allclose(T, steady, atol=0.05)
+        # Already settled: one confirming step suffices.
+        _, steps2 = trans.run_to_steady(P, dt_s=1e-3, tol_c=1e-6)
+        assert steps2 == 1
+
+    def test_run_to_steady_validates_tol(self, network):
+        trans = TransientSolver(network)
+        with pytest.raises(ValueError):
+            trans.run_to_steady(np.zeros(network.num_nodes), 1e-3, tol_c=0.0)
+
     def test_set_state_shape_checked(self, network):
         trans = TransientSolver(network)
         with pytest.raises(ValueError):
@@ -110,3 +137,57 @@ class TestTransient:
         # Calibrated to the paper's millisecond feedback dynamics.
         tau = TransientSolver(network).dominant_time_constant_s()
         assert 1e-4 < tau < 0.2
+
+
+class TestStepLuCache:
+    def test_quantized_keys_collapse_float_noise(self, network):
+        # Regression: adaptive stepping with dt values differing by float
+        # noise used to leak one full LU factorization per distinct float.
+        trans = TransientSolver(network)
+        P = np.zeros(network.num_nodes)
+        base = 1e-3
+        for i in range(50):
+            trans.step(P, base * (1.0 + i * 1e-13))
+        assert len(trans._lus) == 1
+
+    def test_cache_is_bounded(self, network):
+        # Regression: the per-dt cache was unbounded.
+        cache = StepLuCache(network, max_entries=4)
+        trans = TransientSolver(network, lu_cache=cache)
+        P = np.zeros(network.num_nodes)
+        for i in range(1, 21):
+            trans.step(P, i * 1e-3)
+        assert len(cache) == 4
+        assert cache.misses == 20
+
+    def test_lru_eviction_keeps_recent(self, network):
+        cache = StepLuCache(network, max_entries=2)
+        cache.get(1e-3)
+        cache.get(2e-3)
+        cache.get(1e-3)      # refresh 1e-3
+        cache.get(3e-3)      # evicts 2e-3
+        hits_before = cache.hits
+        cache.get(1e-3)
+        assert cache.hits == hits_before + 1
+
+    def test_shared_cache_requires_same_network(self, network):
+        other = build_network(
+            build_stack(HMC_2_0), Floorplan.for_config(HMC_2_0, sub=1),
+            sink_resistance_c_w=0.5,
+        )
+        cache = StepLuCache(other)
+        with pytest.raises(ValueError):
+            TransientSolver(network, lu_cache=cache)
+
+    def test_shared_cache_factorizes_once_across_solvers(self, network):
+        cache = StepLuCache(network)
+        a = TransientSolver(network, lu_cache=cache)
+        b = TransientSolver(network, lu_cache=cache)
+        P = np.zeros(network.num_nodes)
+        a.step(P, 1e-3)
+        b.step(P, 1e-3)
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_max_entries_validated(self, network):
+        with pytest.raises(ValueError):
+            StepLuCache(network, max_entries=0)
