@@ -1,0 +1,79 @@
+"""Observability overhead guard.
+
+The tracer instrumentation added to :meth:`EventEngine.run` must be
+effectively free when tracing is disabled (the default for every
+production run). This benchmark times the instrumented engine against a
+``_SeedRunEngine`` whose ``run()`` reproduces the pre-instrumentation
+loop verbatim, and pins the disabled-tracer overhead below 5 %.
+
+Interleaved best-of-N minima are compared, so scheduler noise and cache
+warm-up hit both variants symmetrically.
+"""
+
+import time
+
+from repro.obs.tracer import get_tracer
+from repro.sim.engine import EventEngine
+
+EVENTS_PER_RUN = 20_000
+ROUNDS = 9
+OVERHEAD_LIMIT = 0.05
+
+
+class _SeedRunEngine(EventEngine):
+    """EventEngine with the seed's uninstrumented run() loop."""
+
+    def run(self, until=None, max_events=None):
+        count = 0
+        while True:
+            if max_events is not None and count >= max_events:
+                break
+            t = self.peek_time()
+            if t is None:
+                break
+            if until is not None and t > until:
+                break
+            self.step()
+            count += 1
+        if until is not None and until > self._now:
+            t = self.peek_time()
+            if t is None or t > until:
+                self._now = until
+        return count
+
+
+def _nop():
+    pass
+
+
+def _drain_once(engine_cls):
+    engine = engine_cls()
+    for i in range(EVENTS_PER_RUN):
+        engine.schedule(float(i), _nop)
+    t0 = time.perf_counter()
+    processed = engine.run()
+    elapsed = time.perf_counter() - t0
+    assert processed == EVENTS_PER_RUN
+    return elapsed
+
+
+def test_disabled_tracer_overhead_below_5_percent():
+    assert not get_tracer().enabled, "benchmark requires tracing off"
+    instrumented, baseline = [], []
+    _drain_once(EventEngine)  # warm-up
+    _drain_once(_SeedRunEngine)
+    for _ in range(ROUNDS):
+        instrumented.append(_drain_once(EventEngine))
+        baseline.append(_drain_once(_SeedRunEngine))
+    best_instr = min(instrumented)
+    best_base = min(baseline)
+    overhead = best_instr / best_base - 1.0
+    print(
+        f"\n  engine.run drain of {EVENTS_PER_RUN} events: "
+        f"instrumented {best_instr * 1e3:.2f} ms, "
+        f"seed {best_base * 1e3:.2f} ms, overhead {overhead * 100:+.2f}%"
+    )
+    assert overhead < OVERHEAD_LIMIT, (
+        f"disabled-tracer overhead {overhead * 100:.1f}% exceeds "
+        f"{OVERHEAD_LIMIT * 100:.0f}% budget"
+    )

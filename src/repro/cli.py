@@ -13,6 +13,17 @@ policy matrix for one workload, and ``experiments`` delegates to
 sweep as jobs on the :mod:`repro.service` process pool with the
 content-addressed result cache (re-running a sweep skips completed
 jobs), and ``cache`` inspects or clears that store.
+
+Observability (see ``docs/OBSERVABILITY.md``)::
+
+    python -m repro trace pagerank --dataset ldbc-small --quick -o trace.json
+    python -m repro report trace.json --require engine,core,thermal,scheduler
+    python -m repro report trace.metrics.json
+    python -m repro report trace.manifest.json
+
+``trace`` runs one instrumented simulation through the job scheduler and
+writes a Perfetto-loadable Chrome trace plus a metrics JSON and a run
+manifest; ``report`` validates/renders any of the three artifacts.
 """
 
 from __future__ import annotations
@@ -161,6 +172,159 @@ def cmd_cache(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    """One instrumented run → Chrome trace + metrics JSON + run manifest."""
+    import time
+    from pathlib import Path
+
+    from repro.obs import (
+        RunManifest,
+        export_chrome_trace,
+        export_metrics,
+        validate_chrome_trace,
+    )
+    from repro.obs.replay import replay_timeline
+    from repro.obs.tracer import tracing
+    from repro.service.handlers import simulation_spec
+    from repro.service.scheduler import JobScheduler
+    from repro.thermal import operators
+
+    out = Path(args.output)
+    spec = simulation_spec(
+        workload=args.workload,
+        dataset=args.dataset,
+        policy=args.policy,
+        cooling=args.cooling,
+        seed=args.seed,
+        workload_scale=0.25 if args.quick else 1.0,
+    )
+    wall0 = time.perf_counter()
+    with tracing(sink=args.jsonl) as tracer:
+        # Serial scheduler with no store/journal: the job always executes
+        # in this process, so simulation spans and scheduler spans land in
+        # one tracer.
+        report = JobScheduler(serial=True).run([spec])
+        if not report.ok:
+            for failure in report.failures.values():
+                print(f"trace run failed: {failure.name}: {failure.message}",
+                      file=sys.stderr)
+            return 1
+        payload = next(iter(report.results.values())).payload
+        timeline = payload["result"].get("timeline") or []
+        # The flow-model simulators don't use the event engine directly;
+        # replaying the sampled timeline through it produces the engine
+        # spans and the sim-clock counter tracks.
+        replay_timeline(timeline, tracer=tracer)
+        records = tracer.records
+    wall_s = time.perf_counter() - wall0
+
+    doc = export_chrome_trace(
+        records, out,
+        other_data={"workload": args.workload, "policy": args.policy},
+    )
+    summary = validate_chrome_trace(doc)
+
+    metrics_path = out.parent / (out.stem + ".metrics.json")
+    manifest_path = out.parent / (out.stem + ".manifest.json")
+    stats = dict(payload.get("metrics") or {})
+    for key, value in operators.cache_stats().items():
+        stats[f"thermal.operator_cache.{key}"] = {
+            "type": "counter", "value": value,
+        }
+    config = {
+        "workload": args.workload,
+        "dataset": args.dataset,
+        "policy": args.policy,
+        "cooling": args.cooling,
+        "quick": bool(args.quick),
+    }
+    export_metrics(stats, metrics_path, meta=dict(config, seed=args.seed))
+    manifest = RunManifest.collect(
+        command="repro trace",
+        config=config,
+        seed=args.seed,
+        wall_duration_s=wall_s,
+        sim_duration_s=payload["result"].get("runtime_s"),
+        outputs=[out, metrics_path, manifest_path],
+        trace_events=summary["events"],
+    )
+    manifest.write(manifest_path)
+
+    cats = ", ".join(sorted(summary["categories"]))
+    print(f"trace    : {out} ({summary['events']} events; layers: {cats})")
+    print(f"metrics  : {metrics_path}")
+    print(f"manifest : {manifest_path}")
+    print("open the trace at https://ui.perfetto.dev (Open trace file)")
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Render/validate a trace, metrics, or manifest artifact."""
+    import json
+    from pathlib import Path
+
+    from repro.obs import (
+        MANIFEST_SCHEMA_ID,
+        METRICS_SCHEMA_ID,
+        RunManifest,
+        TraceValidationError,
+        diff_metrics,
+        format_report,
+        load_metrics,
+        render_report,
+        validate_chrome_trace,
+    )
+
+    path = Path(args.file)
+    doc = json.loads(path.read_text(encoding="utf-8"))
+
+    if "traceEvents" in doc:
+        try:
+            summary = validate_chrome_trace(doc)
+        except TraceValidationError as exc:
+            print(f"{path}: INVALID Chrome trace: {exc}", file=sys.stderr)
+            return 1
+        print(f"{path}: valid Chrome trace, {summary['events']} events")
+        phases = ", ".join(
+            f"{k}={v}" for k, v in sorted(summary["phases"].items())
+        )
+        print(f"  phases    : {phases}")
+        for cat, n in sorted(summary["categories"].items()):
+            print(f"  {cat:10s}: {n} events")
+        if args.require:
+            want = {c.strip() for c in args.require.split(",") if c.strip()}
+            missing = want - set(summary["categories"])
+            if missing:
+                print(
+                    f"{path}: missing required layers: {', '.join(sorted(missing))}",
+                    file=sys.stderr,
+                )
+                return 1
+            print(f"  all required layers present: {', '.join(sorted(want))}")
+        return 0
+
+    schema = doc.get("schema")
+    if schema == METRICS_SCHEMA_ID:
+        if args.diff:
+            print(
+                diff_metrics(load_metrics(path), load_metrics(args.diff)) or
+                "no metric differences\n",
+                end="",
+            )
+            return 0
+        print(render_report(doc), end="")
+        return 0
+    if schema == MANIFEST_SCHEMA_ID:
+        print(format_report(RunManifest.load(path)), end="")
+        return 0
+
+    print(
+        f"{path}: unrecognized document (no traceEvents, schema={schema!r})",
+        file=sys.stderr,
+    )
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="CoolPIM reproduction CLI"
@@ -212,6 +376,35 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["stats", "ls", "clear", "prune"],
     )
     cache_p.add_argument("--cache-dir", default=None, metavar="DIR")
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="run one instrumented simulation; write Chrome trace + "
+             "metrics + manifest",
+    )
+    common(trace_p)
+    trace_p.add_argument("--policy", default="coolpim-hw",
+                         choices=POLICY_NAMES)
+    trace_p.add_argument("--quick", action="store_true",
+                         help="quarter-length run (smoke/CI)")
+    trace_p.add_argument("-o", "--output", default="trace.json",
+                         metavar="FILE",
+                         help="Chrome trace output path (metrics/manifest "
+                              "are written next to it)")
+    trace_p.add_argument("--jsonl", default=None, metavar="FILE",
+                         help="also stream raw tracer records as JSONL")
+
+    report_p = sub.add_parser(
+        "report",
+        help="render/validate a trace, metrics, or manifest JSON",
+    )
+    report_p.add_argument("file", help="trace.json, *.metrics.json, or "
+                                       "*.manifest.json")
+    report_p.add_argument("--require", default=None, metavar="CATS",
+                          help="comma-separated trace layers that must be "
+                               "present (exit 1 otherwise)")
+    report_p.add_argument("--diff", default=None, metavar="FILE2",
+                          help="diff a second metrics JSON against the first")
     return parser
 
 
@@ -224,6 +417,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         "experiments": cmd_experiments,
         "batch": cmd_batch,
         "cache": cmd_cache,
+        "trace": cmd_trace,
+        "report": cmd_report,
     }
     return handlers[args.command](args)
 

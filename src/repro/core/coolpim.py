@@ -16,9 +16,12 @@ full Fig. 6 loop. This is the primary public API:
 
 from __future__ import annotations
 
+import time as _time
 from typing import Dict, Iterable, Optional, Union
 
 from repro.core.policies import POLICY_NAMES, OffloadPolicy, make_policy
+from repro.obs.tracer import get_tracer
+from repro.sim.stats import StatRegistry
 from repro.gpu.config import GPU_DEFAULT, GpuConfig
 from repro.gpu.simulator import SimulationResult, SystemSimulator
 from repro.graph.csr import CSRGraph
@@ -57,6 +60,9 @@ class CoolPimSystem:
         #: all-or-nothing prototype behaviour).
         self.phase_policy = phase_policy
         self._launch_cache: Dict[tuple, object] = {}
+        #: Stat registry of the most recent :meth:`run` (``sim.*`` scope),
+        #: exportable via ``StatRegistry.snapshot(structured=True)``.
+        self.last_stats: Optional[StatRegistry] = None
 
     def _launch_for(self, workload: GraphWorkload, graph: CSRGraph):
         key = (workload.name, workload.seed, id(graph))
@@ -83,7 +89,18 @@ class CoolPimSystem:
             sensor=ThermalSensor(),
             control_dt_s=self.control_dt_s,
         )
-        return sim.run(launch, policy)
+        tracer = get_tracer()
+        t0 = _time.perf_counter()
+        result = sim.run(launch, policy)
+        tracer.complete(
+            "core.run", t0, _time.perf_counter(), cat="core",
+            workload=workload.name, policy=policy.name,
+            runtime_s=result.runtime_s,
+            thermal_warnings=result.thermal_warnings,
+            peak_dram_temp_c=result.peak_dram_temp_c,
+        )
+        self.last_stats = sim.stats
+        return result
 
     def run_all_policies(
         self,

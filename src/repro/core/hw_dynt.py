@@ -18,6 +18,7 @@ from repro.core.feedback import FeedbackDelays
 from repro.core.policies import OffloadPolicy
 from repro.gpu.config import GPU_DEFAULT, GpuConfig
 from repro.gpu.kernel import KernelLaunch
+from repro.obs.tracer import get_tracer
 
 #: Default warning-driven reduction, in warps across the GPU. Warp
 #: granularity is finer than SW-DynT's block granularity (a block is
@@ -71,6 +72,10 @@ class HwDynT(OffloadPolicy):
         self._last_update_s = float("-inf")
         self._last_temp_c = None
         self.record_fraction(now_s, 1.0)
+        get_tracer().counter(
+            "core.enabled_warps", self._enabled_warps, cat="core",
+            sim_time_ns=now_s * 1e9, clock="sim",
+        )
 
     # -- control --------------------------------------------------------------
 
@@ -114,6 +119,17 @@ class HwDynT(OffloadPolicy):
         self._last_update_s = now_s
         self._enabled_warps = max(0, self._enabled_warps - self.control_factor)
         self._pending_apply_at = now_s + self.delays.throttle_s
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "core.pcu_reduce", cat="core",
+                sim_time_ns=now_s * 1e9, clock="sim",
+                enabled_warps=self._enabled_warps, temp_c=temp_c,
+            )
+            tracer.counter(
+                "core.enabled_warps", self._enabled_warps, cat="core",
+                sim_time_ns=now_s * 1e9, clock="sim",
+            )
 
     @property
     def enabled_warps(self) -> int:

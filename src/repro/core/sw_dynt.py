@@ -20,6 +20,7 @@ from repro.core.feedback import FeedbackDelays
 from repro.core.initialization import PtpInitializer
 from repro.core.policies import OffloadPolicy
 from repro.core.token_pool import PimTokenPool
+from repro.obs.tracer import get_tracer
 from repro.gpu.config import GPU_DEFAULT, GpuConfig
 from repro.gpu.kernel import KernelLaunch
 
@@ -68,6 +69,10 @@ class SwDynT(OffloadPolicy):
         self._last_action_s = float("-inf")
         self._effective_fraction = self._fraction_from_pool()
         self.record_fraction(now_s, self._effective_fraction)
+        get_tracer().counter(
+            "core.ptp_size", self.pool.size, cat="core",
+            sim_time_ns=now_s * 1e9, clock="sim",
+        )
 
     def _fraction_from_pool(self) -> float:
         if self.pool is None or self._active_blocks == 0:
@@ -99,6 +104,17 @@ class SwDynT(OffloadPolicy):
         self.pool.issued = min(self.pool.issued, max(self.pool.size, 0))
         self._pending_size = self.pool.size
         self._pending_apply_at = now_s + self.delays.throttle_s
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "core.ptp_reduce", cat="core",
+                sim_time_ns=now_s * 1e9, clock="sim",
+                ptp_size=self.pool.size, temp_c=temp_c,
+            )
+            tracer.counter(
+                "core.ptp_size", self.pool.size, cat="core",
+                sim_time_ns=now_s * 1e9, clock="sim",
+            )
 
     @property
     def ptp_size(self) -> int:

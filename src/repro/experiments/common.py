@@ -70,6 +70,17 @@ class RunScale:
         )
 
 
+def apply_workload_scale(workload, factor: float):
+    """Scale a workload's run-length knobs (sources/repeats/iterations)
+    in place by ``factor``; returns the workload for chaining."""
+    if factor != 1.0:
+        for attr in ("num_sources", "repeats", "iterations"):
+            if hasattr(workload, attr):
+                value = getattr(workload, attr)
+                setattr(workload, attr, max(1, int(round(value * factor))))
+    return workload
+
+
 def scaled_workload(name: str, scale: RunScale, seed: int | None = None):
     """Instantiate a benchmark with its run length scaled.
 
@@ -79,9 +90,4 @@ def scaled_workload(name: str, scale: RunScale, seed: int | None = None):
     from repro.workloads import get_workload
 
     w = get_workload(name, seed=scale.seed if seed is None else seed)
-    if scale.workload_scale != 1.0:
-        for attr in ("num_sources", "repeats", "iterations"):
-            if hasattr(w, attr):
-                value = getattr(w, attr)
-                setattr(w, attr, max(1, int(round(value * scale.workload_scale))))
-    return w
+    return apply_workload_scale(w, scale.workload_scale)

@@ -19,6 +19,8 @@ import sys
 import time
 from typing import Callable, Dict, List, Optional
 
+from repro.obs.tracer import get_tracer
+
 from repro.experiments import (
     energy,
     fig1_prototype,
@@ -87,7 +89,11 @@ def run_experiment(name: str, scale: Optional[RunScale] = None) -> str:
         raise KeyError(
             f"unknown experiment {name!r}; available: {list(catalog)}"
         )
-    return catalog[name]()
+    with get_tracer().span(
+        f"experiment.{name}", cat="experiment", dataset=scale.dataset,
+        workload_scale=scale.workload_scale, seed=scale.seed,
+    ):
+        return catalog[name]()
 
 
 def sweep_texts_parallel(
@@ -198,6 +204,31 @@ def main(argv: list[str] | None = None) -> int:
         out_dir = pathlib.Path(args.out)
         out_dir.mkdir(parents=True, exist_ok=True)
 
+    sweep_start = time.time()
+
+    def write_manifest(ok: bool) -> None:
+        """Provenance record for the sweep (``--out DIR/manifest.json``)."""
+        if out_dir is None:
+            return
+        from repro.obs.manifest import RunManifest
+
+        manifest = RunManifest.collect(
+            command="repro.experiments.runner",
+            config={
+                "experiments": selected,
+                "scale": scale.to_dict(),
+                "jobs": args.jobs,
+                "quick": args.quick,
+            },
+            seed=args.seed,
+            wall_duration_s=time.time() - sweep_start,
+            outputs=sorted(
+                str(out_dir / f"{name}.txt") for name in selected
+            ),
+            ok=ok,
+        )
+        manifest.write(out_dir / "manifest.json")
+
     if args.jobs is not None:
         texts, report = sweep_texts_parallel(
             selected, scale,
@@ -211,16 +242,18 @@ def main(argv: list[str] | None = None) -> int:
             if out_dir is not None:
                 (out_dir / f"{name}.txt").write_text(texts[name] + "\n")
         print(f"\n[sweep: {report.summary_line()}]")
+        write_manifest(report.ok)
         return 0 if report.ok else 1
 
     for name in selected:
         start = time.time()
         print(f"\n{'=' * 72}\n== {name}\n{'=' * 72}")
-        text = experiments[name]()
+        text = run_experiment(name, scale)
         print(text)
         print(f"[{name} took {time.time() - start:.1f} s]")
         if out_dir is not None:
             (out_dir / f"{name}.txt").write_text(text + "\n")
+    write_manifest(True)
     return 0
 
 

@@ -17,6 +17,7 @@ recovery stall (Sec. III-A).
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
@@ -30,6 +31,8 @@ from repro.gpu.sm import SmArray
 from repro.hmc.config import HMC_2_0, HmcConfig
 from repro.hmc.dram_timing import TemperaturePhase
 from repro.hmc.flow import HmcFlowModel, TrafficDemand
+from repro.obs.tracer import get_tracer
+from repro.sim.stats import StatRegistry
 from repro.sim.trace import OpBatch
 from repro.thermal.model import HmcThermalModel
 from repro.thermal.power import TrafficPoint
@@ -189,6 +192,7 @@ class SystemSimulator:
         timeline_dt_s: float = 250e-6,
         warm_start: Optional[TrafficPoint] = None,
         saturation_threads: int = 1500,
+        stats: Optional[StatRegistry] = None,
     ) -> None:
         if control_dt_s <= 0:
             raise ValueError(f"control quantum must be positive: {control_dt_s}")
@@ -215,6 +219,9 @@ class SystemSimulator:
         # device, not a cold one: warm-start at a moderately-loaded steady
         # point (Fig. 14's thermal warning lands ~2.5 ms into the run).
         self.warm_start = warm_start or TrafficPoint.streaming(240.0)
+        #: Per-simulator stat registry; each run() resets and refills the
+        #: ``sim.*`` stats, so the last run's numbers are always current.
+        self.stats = stats if stats is not None else StatRegistry()
 
     # -- helpers -----------------------------------------------------------------
 
@@ -246,6 +253,25 @@ class SystemSimulator:
 
         policy.begin(launch, now_s=0.0)
 
+        tracer = get_tracer()
+        traced = tracer.enabled
+        wall_t0 = _time.perf_counter()
+        stats = self.stats.scoped("sim")
+        dt_hist = stats.histogram(
+            "control_dt_ns", 0.0, self.control_dt_s * 1e9 * 1.01, 64
+        )
+        dt_hist.reset()
+        frac_tw = stats.time_weighted("pim_fraction")
+        frac_tw.reset(initial=0.0, start_time=0.0)
+        for name in (
+            "epochs", "control_steps", "thermal_solver_steps",
+            "thermal_warnings", "shutdowns", "pim_ops", "host_atomics",
+        ):
+            stats.counter(name).reset()
+        epochs = 0
+        control_steps = 0
+        thermal_steps = 0
+
         now_s = 0.0
         link_bytes = 0
         data_bytes = 0
@@ -272,9 +298,14 @@ class SystemSimulator:
                 break
             atomics_total += batch.atomics
             state = _EpochState(batch, self.cache.filter(batch))
+            epochs += 1
+            epoch_t0 = _time.perf_counter() if traced else 0.0
+            epoch_sim0 = now_s
 
             while not state.drained:
                 fraction = policy.pim_fraction(now_s)
+                if fraction != frac_tw.value:
+                    frac_tw.update(fraction, now_s)
                 demand = self._mem_demand(state, fraction)
                 t_mem_ns = self.flow.service_time_ns(demand)
                 # Small frontiers can't keep enough requests in flight to
@@ -320,17 +351,30 @@ class SystemSimulator:
                             dram_energy_scale=energy_scale,
                         )
                         thermal_debt_s -= self.control_dt_s
+                        thermal_steps += 1
                     peak_temp = max(peak_temp, temp_c)
                     phase = self.flow.update_phase(temp_c)
                     warning = self.sensor.observe(temp_c, now_s)
                     self.flow.set_thermal_warning(warning)
                     if warning:
                         warnings += 1
+                        if traced:
+                            tracer.instant(
+                                "sim.thermal_warning", cat="sim",
+                                sim_time_ns=now_s * 1e9, clock="sim",
+                                temp_c=self.sensor.last_temp_c,
+                            )
                         policy.on_thermal_warning(now_s, self.sensor.last_temp_c)
                     if phase is TemperaturePhase.SHUTDOWN:
                         # Conservative overheat policy: full stop, long
                         # recovery, restart cold (Sec. III-A).
                         shutdowns += 1
+                        if traced:
+                            tracer.instant(
+                                "sim.shutdown", cat="sim",
+                                sim_time_ns=now_s * 1e9, clock="sim",
+                                temp_c=temp_c,
+                            )
                         now_s += SHUTDOWN_RECOVERY_S
                         phase_time[TemperaturePhase.SHUTDOWN.name] += (
                             SHUTDOWN_RECOVERY_S
@@ -360,10 +404,40 @@ class SystemSimulator:
                 host_atomics_total += served.host_atomics
                 phase_time[phase.name] += dt_ns * 1e-9
                 now_s += dt_ns * 1e-9
+                control_steps += 1
+                dt_hist.add(dt_ns)
 
                 if now_s >= next_sample:
                     timeline.append((now_s, temp_c, pim_rate, fraction))
                     next_sample = now_s + self.timeline_dt_s
+
+            if traced:
+                tracer.complete(
+                    "gpu.epoch", epoch_t0, _time.perf_counter(), cat="gpu",
+                    label=batch.label, atomics=batch.atomics,
+                    threads=batch.threads,
+                    sim_start_s=epoch_sim0, sim_end_s=now_s,
+                )
+
+        # Tail of the last fraction level, so the time-weighted mean
+        # covers the full run.
+        if now_s > 0.0:
+            frac_tw.update(frac_tw.value, now_s)
+        stats.counter("epochs").add(epochs)
+        stats.counter("control_steps").add(control_steps)
+        stats.counter("thermal_solver_steps").add(thermal_steps)
+        stats.counter("thermal_warnings").add(warnings)
+        stats.counter("shutdowns").add(shutdowns)
+        stats.counter("pim_ops").add(pim_ops_total)
+        stats.counter("host_atomics").add(host_atomics_total)
+        if traced:
+            tracer.complete(
+                "sim.run", wall_t0, _time.perf_counter(), cat="sim",
+                workload=launch.name, policy=policy.name,
+                epochs=epochs, control_steps=control_steps,
+                warnings=warnings, shutdowns=shutdowns,
+                sim_runtime_s=now_s,
+            )
 
         return SimulationResult(
             workload=launch.name,

@@ -1,0 +1,67 @@
+"""Observability layer: tracing, metrics export, run provenance.
+
+Three independent pieces, all importable with zero non-stdlib cost:
+
+- :mod:`repro.obs.tracer` — span/instant/counter recorder with wall- and
+  sim-clock timestamps; disabled by default and ~free when disabled.
+- :mod:`repro.obs.chrome` — Chrome trace-event export (Perfetto-loadable)
+  and a structural validator.
+- :mod:`repro.obs.metrics` — stable JSON metrics documents and diffable
+  text reports from ``StatRegistry`` snapshots.
+- :mod:`repro.obs.manifest` — run provenance manifests (fingerprint,
+  seed, versions, durations, host).
+
+Entry points: ``repro trace <run-args> -o trace.json`` captures one
+instrumented run; ``repro report <file>`` renders/validates any of the
+three artifact kinds. See ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.chrome import (
+    CHROME_TRACE_SCHEMA,
+    SIM_PID,
+    TraceValidationError,
+    export_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.obs.manifest import MANIFEST_SCHEMA_ID, RunManifest, format_report
+from repro.obs.metrics import (
+    METRICS_SCHEMA_ID,
+    diff_metrics,
+    export_metrics,
+    flatten_stats,
+    load_metrics,
+    render_report,
+)
+from repro.obs.tracer import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    traced,
+    tracing,
+)
+
+__all__ = [
+    "CHROME_TRACE_SCHEMA",
+    "MANIFEST_SCHEMA_ID",
+    "METRICS_SCHEMA_ID",
+    "NULL_SPAN",
+    "RunManifest",
+    "SIM_PID",
+    "Span",
+    "TraceValidationError",
+    "Tracer",
+    "diff_metrics",
+    "export_chrome_trace",
+    "export_metrics",
+    "flatten_stats",
+    "format_report",
+    "get_tracer",
+    "load_metrics",
+    "render_report",
+    "set_tracer",
+    "traced",
+    "tracing",
+    "validate_chrome_trace",
+]

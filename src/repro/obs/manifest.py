@@ -1,0 +1,135 @@
+"""Run manifests: provenance written next to every experiment output.
+
+A manifest answers "what exactly produced this file?": the code
+fingerprint (reusing :func:`repro.service.fingerprint.code_fingerprint`,
+so a manifest matches the job-cache invalidation key), package version,
+seed and config, wall/sim durations, and host info. Schema is versioned
+(:data:`MANIFEST_SCHEMA_ID`) so later readers can evolve.
+
+Imports from the rest of ``repro`` happen lazily inside
+:meth:`RunManifest.collect` — this module stays stdlib-only at import
+time (``repro.obs`` is imported by low-level sim modules).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import platform
+import socket
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+MANIFEST_SCHEMA_ID = "repro.manifest/1"
+
+
+@dataclass
+class RunManifest:
+    """Provenance record for one run (experiment, trace, or sweep)."""
+
+    command: str
+    config: Dict[str, Any] = field(default_factory=dict)
+    seed: Optional[int] = None
+    code_fingerprint: str = ""
+    package_version: str = ""
+    wall_duration_s: Optional[float] = None
+    sim_duration_s: Optional[float] = None
+    created_unix: float = 0.0
+    host: Dict[str, Any] = field(default_factory=dict)
+    outputs: List[str] = field(default_factory=list)
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def collect(
+        cls,
+        command: str,
+        config: Optional[Dict[str, Any]] = None,
+        seed: Optional[int] = None,
+        wall_duration_s: Optional[float] = None,
+        sim_duration_s: Optional[float] = None,
+        outputs: Optional[List[Union[str, Path]]] = None,
+        **extra: Any,
+    ) -> "RunManifest":
+        """Build a manifest, filling fingerprint/version/host automatically."""
+        import repro
+        from repro.service.fingerprint import code_fingerprint
+
+        return cls(
+            command=command,
+            config=dict(config or {}),
+            seed=seed,
+            code_fingerprint=code_fingerprint(),
+            package_version=getattr(repro, "__version__", "unknown"),
+            wall_duration_s=wall_duration_s,
+            sim_duration_s=sim_duration_s,
+            created_unix=time.time(),
+            host={
+                "hostname": socket.gethostname(),
+                "platform": platform.platform(),
+                "python": sys.version.split()[0],
+            },
+            outputs=[str(o) for o in (outputs or [])],
+            extra=dict(extra),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc = {"schema": MANIFEST_SCHEMA_ID}
+        doc.update(dataclasses.asdict(self))
+        return doc
+
+    def write(self, path: Union[str, Path]) -> Path:
+        p = Path(path)
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True), encoding="utf-8"
+        )
+        return p
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RunManifest":
+        doc = json.loads(Path(path).read_text(encoding="utf-8"))
+        if doc.get("schema") != MANIFEST_SCHEMA_ID:
+            raise ValueError(
+                f"{path}: not a manifest (schema={doc.get('schema')!r})"
+            )
+        doc.pop("schema")
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in doc.items() if k in known})
+
+
+def format_report(manifest: RunManifest) -> str:
+    """Human-readable one-screen summary of a manifest."""
+    lines = [
+        f"run manifest ({MANIFEST_SCHEMA_ID})",
+        f"  command:     {manifest.command}",
+        f"  created:     {time.strftime('%Y-%m-%d %H:%M:%S', time.gmtime(manifest.created_unix))} UTC",
+        f"  version:     {manifest.package_version}",
+        f"  fingerprint: {manifest.code_fingerprint[:16]}…"
+        if manifest.code_fingerprint
+        else "  fingerprint: -",
+        f"  seed:        {manifest.seed if manifest.seed is not None else '-'}",
+    ]
+    if manifest.wall_duration_s is not None:
+        lines.append(f"  wall time:   {manifest.wall_duration_s:.3f} s")
+    if manifest.sim_duration_s is not None:
+        lines.append(f"  sim time:    {manifest.sim_duration_s:.6f} s")
+    host = manifest.host or {}
+    if host:
+        lines.append(
+            f"  host:        {host.get('hostname', '?')} "
+            f"({host.get('platform', '?')}, python {host.get('python', '?')})"
+        )
+    if manifest.config:
+        lines.append("  config:")
+        for key in sorted(manifest.config):
+            lines.append(f"    {key}: {manifest.config[key]}")
+    if manifest.outputs:
+        lines.append("  outputs:")
+        for out in manifest.outputs:
+            lines.append(f"    {out}")
+    for key in sorted(manifest.extra):
+        lines.append(f"  {key}: {manifest.extra[key]}")
+    return "\n".join(lines) + "\n"

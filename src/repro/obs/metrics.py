@@ -1,0 +1,113 @@
+"""Metrics export: stable JSON schema + diffable text reports.
+
+The exporter is deliberately decoupled from :mod:`repro.sim.stats`: it
+consumes the *structured snapshot* dictionaries that
+``StatRegistry.snapshot(structured=True)`` produces (each stat rendered
+as ``{"type": ..., ...scalar fields...}``), so this module stays
+stdlib-only and importable from anywhere without circular-import risk.
+
+Document schema (``schema`` = :data:`METRICS_SCHEMA_ID`)::
+
+    {
+      "schema": "repro.metrics/1",
+      "meta":   {...free-form provenance...},
+      "stats":  {"<name>": {"type": "counter", "value": 12}, ...}
+    }
+
+The text report renders one line per scalar in sorted order with fixed
+number formatting, so two reports diff cleanly with plain ``diff``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+METRICS_SCHEMA_ID = "repro.metrics/1"
+
+
+def export_metrics(
+    stats: Dict[str, Dict[str, Any]],
+    path: Optional[Union[str, Path]] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Wrap a structured stat snapshot in the versioned document."""
+    doc: Dict[str, Any] = {
+        "schema": METRICS_SCHEMA_ID,
+        "meta": dict(meta or {}),
+        "stats": {name: dict(stat) for name, stat in sorted(stats.items())},
+    }
+    if path is not None:
+        p = Path(path)
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(json.dumps(doc, indent=2, sort_keys=True), encoding="utf-8")
+    return doc
+
+
+def load_metrics(path: Union[str, Path]) -> Dict[str, Any]:
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if doc.get("schema") != METRICS_SCHEMA_ID:
+        raise ValueError(
+            f"{path}: not a metrics document "
+            f"(schema={doc.get('schema')!r}, want {METRICS_SCHEMA_ID!r})"
+        )
+    return doc
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.6g}"
+    return str(value)
+
+
+def flatten_stats(stats: Dict[str, Dict[str, Any]]) -> Dict[str, Any]:
+    """``{name: {field: value}}`` → ``{"name.field": value}`` scalars."""
+    flat: Dict[str, Any] = {}
+    for name in sorted(stats):
+        stat = stats[name]
+        for field in sorted(stat):
+            if field == "type":
+                continue
+            flat[f"{name}.{field}"] = stat[field]
+    return flat
+
+
+def render_report(doc: Dict[str, Any]) -> str:
+    """Deterministic, line-per-scalar text rendering of a metrics doc."""
+    lines: List[str] = [f"# metrics ({doc.get('schema', '?')})"]
+    meta = doc.get("meta") or {}
+    for key in sorted(meta):
+        lines.append(f"# {key}: {_fmt(meta[key])}")
+    flat = flatten_stats(doc.get("stats") or {})
+    width = max((len(k) for k in flat), default=0)
+    for key, value in flat.items():
+        lines.append(f"{key.ljust(width)}  {_fmt(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def diff_metrics(a: Dict[str, Any], b: Dict[str, Any]) -> str:
+    """Line-oriented diff of two metrics docs (``a`` → ``b``).
+
+    Reports added/removed scalars and value changes; empty string means
+    the stat contents are identical (meta is ignored).
+    """
+    fa = flatten_stats(a.get("stats") or {})
+    fb = flatten_stats(b.get("stats") or {})
+    lines: List[str] = []
+    for key in sorted(set(fa) | set(fb)):
+        if key not in fb:
+            lines.append(f"- {key}  {_fmt(fa[key])}")
+        elif key not in fa:
+            lines.append(f"+ {key}  {_fmt(fb[key])}")
+        elif fa[key] != fb[key]:
+            lines.append(f"~ {key}  {_fmt(fa[key])} -> {_fmt(fb[key])}")
+    return "\n".join(lines) + ("\n" if lines else "")

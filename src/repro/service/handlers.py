@@ -67,19 +67,29 @@ def simulation_spec(
     policy: str = "coolpim-hw",
     cooling: str = "commodity",
     seed: int = 0,
+    workload_scale: float = 1.0,
     timeout_s: Optional[float] = None,
     max_retries: int = 0,
 ) -> JobSpec:
-    """Spec for one (workload × policy × dataset × cooling) simulation."""
+    """Spec for one (workload × policy × dataset × cooling) simulation.
+
+    ``workload_scale`` shrinks the run length (``repro trace --quick``
+    and smoke runs); it only enters the params — and therefore the cache
+    key — when it differs from 1.0, so existing full-scale cache entries
+    keep their keys.
+    """
+    params = {
+        "workload": workload,
+        "dataset": dataset,
+        "policy": policy,
+        "cooling": cooling,
+    }
+    if workload_scale != 1.0:
+        params["workload_scale"] = workload_scale
     return JobSpec(
         kind="simulation",
         name=f"{workload}/{policy}@{dataset}",
-        params={
-            "workload": workload,
-            "dataset": dataset,
-            "policy": policy,
-            "cooling": cooling,
-        },
+        params=params,
         seed=seed,
         timeout_s=timeout_s,
         max_retries=max_retries,
@@ -98,9 +108,18 @@ def run_experiment_job(spec: JobSpec) -> Dict[str, Any]:
 
 
 def run_simulation_job(spec: JobSpec) -> Dict[str, Any]:
-    """Execute one CoolPIM system run and return its aggregate metrics."""
+    """Execute one CoolPIM system run and return its aggregate metrics.
+
+    Alongside the result aggregates the payload carries a structured
+    metrics snapshot (``sim.*`` counters/histograms, see
+    :mod:`repro.obs.metrics`); when tracing is enabled the sampled
+    timeline rides along too, so ``repro trace`` can replay it through
+    the event engine.
+    """
     from repro.core.coolpim import CoolPimSystem
+    from repro.experiments.common import apply_workload_scale
     from repro.graph.datasets import get_dataset
+    from repro.obs.tracer import get_tracer
     from repro.thermal.cooling import COOLING_SOLUTIONS
     from repro.workloads.registry import get_workload
 
@@ -110,12 +129,16 @@ def run_simulation_job(spec: JobSpec) -> Dict[str, Any]:
     )
     graph = get_dataset(params.get("dataset", "ldbc"))
     workload = get_workload(params["workload"], seed=spec.seed)
+    apply_workload_scale(workload, params.get("workload_scale", 1.0))
     result = system.run(workload, graph, params.get("policy", "coolpim-hw"))
-    return {
+    payload = {
         "workload": params["workload"],
         "dataset": params.get("dataset", "ldbc"),
         "policy": params.get("policy", "coolpim-hw"),
         "cooling": params.get("cooling", "commodity"),
         "seed": spec.seed,
-        "result": result.to_dict(),
+        "result": result.to_dict(include_timeline=get_tracer().enabled),
     }
+    if system.last_stats is not None:
+        payload["metrics"] = system.last_stats.snapshot(structured=True)
+    return payload

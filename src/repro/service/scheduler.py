@@ -46,6 +46,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.obs.tracer import get_tracer
 from repro.service.jobs import (
     JobFailure,
     JobResult,
@@ -196,6 +197,9 @@ class JobScheduler:
         self.backoff_s = backoff_s
         self.mp_start_method = mp_start_method
         self.worker_initializer = worker_initializer
+        # queued_at[key] = perf_counter at submission; lets completion
+        # spans cover the full queue→start→done lifecycle.
+        self._queued_at: Dict[str, float] = {}
 
     # -- journal helper ---------------------------------------------------
 
@@ -208,6 +212,7 @@ class JobScheduler:
     def run(self, specs: Sequence[JobSpec]) -> SweepReport:
         """Execute ``specs`` (deduplicated by content key) to completion."""
         t0 = time.perf_counter()
+        tracer = get_tracer()
         report = SweepReport()
 
         unique: List[JobSpec] = []
@@ -239,8 +244,12 @@ class JobScheduler:
                 )
                 report.cache_hits += 1
                 self._log("cache_hit", key=spec.key, name=spec.name)
+                tracer.instant(
+                    "scheduler.cache_hit", cat="scheduler", job=spec.name
+                )
             else:
                 pending.append(spec)
+                self._queued_at[spec.key] = time.perf_counter()
                 self._log("submitted", key=spec.key, name=spec.name)
 
         if pending:
@@ -257,6 +266,11 @@ class JobScheduler:
             executed=report.executed,
             failed=len(report.failures),
             elapsed_s=report.elapsed_s,
+        )
+        tracer.complete(
+            "scheduler.sweep", t0, time.perf_counter(), cat="scheduler",
+            jobs=len(unique), cached=report.cache_hits,
+            executed=report.executed, failed=len(report.failures),
         )
         return report
 
@@ -284,8 +298,25 @@ class JobScheduler:
             name=spec.name,
             elapsed_s=result.elapsed_s,
             attempts=attempt,
+            duration_s=result.elapsed_s,
+            attempt=attempt,
             pid=result.worker_pid,
         )
+        tracer = get_tracer()
+        if tracer.enabled:
+            done = time.perf_counter()
+            queued = self._queued_at.get(spec.key, done - result.elapsed_s)
+            # Two nested spans: full queue→done lifecycle, and the handler
+            # execution reconstructed from the worker-reported elapsed time.
+            tracer.complete(
+                "scheduler.job", queued, done, cat="scheduler",
+                job=spec.name, kind=spec.kind, attempts=attempt,
+                queue_s=max(0.0, done - result.elapsed_s - queued),
+            )
+            tracer.complete(
+                "scheduler.job.run", done - result.elapsed_s, done,
+                cat="scheduler", job=spec.name, pid=result.worker_pid,
+            )
 
     def _record_failure(
         self,
@@ -310,10 +341,31 @@ class JobScheduler:
             reason=reason,
             message=message,
             attempts=attempts,
+            attempt=attempts,
+        )
+        get_tracer().instant(
+            "scheduler.job_failed", cat="scheduler",
+            job=spec.name, reason=reason, attempts=attempts,
         )
 
     def _backoff_delay(self, attempt: int) -> float:
         return self.backoff_s * (2 ** (attempt - 1))
+
+    def _note_retry(
+        self, spec: JobSpec, attempt: int, reason: str, delay: float
+    ) -> None:
+        self._log(
+            "retrying",
+            key=spec.key,
+            name=spec.name,
+            attempt=attempt,
+            reason=reason,
+            backoff_s=delay,
+        )
+        get_tracer().instant(
+            "scheduler.retry", cat="scheduler",
+            job=spec.name, attempt=attempt, reason=reason,
+        )
 
     # -- serial execution -------------------------------------------------
 
@@ -332,14 +384,7 @@ class JobScheduler:
                     break
                 if attempt <= spec.max_retries:
                     delay = self._backoff_delay(attempt)
-                    self._log(
-                        "retrying",
-                        key=spec.key,
-                        name=spec.name,
-                        attempt=attempt,
-                        reason=reason,
-                        backoff_s=delay,
-                    )
+                    self._note_retry(spec, attempt, reason, delay)
                     time.sleep(delay)
                     attempt += 1
                     continue
@@ -401,14 +446,7 @@ class JobScheduler:
             whether a retry was queued."""
             if attempt <= spec.max_retries:
                 delay = self._backoff_delay(attempt)
-                self._log(
-                    "retrying",
-                    key=spec.key,
-                    name=spec.name,
-                    attempt=attempt,
-                    reason=reason,
-                    backoff_s=delay,
-                )
+                self._note_retry(spec, attempt, reason, delay)
                 requeue(spec, attempt + 1, delay)
                 return True
             self._record_failure(report, spec, reason, message, attempt)
@@ -422,6 +460,10 @@ class JobScheduler:
             """
             self._log(
                 "quarantined", key=spec.key, name=spec.name, attempt=attempt
+            )
+            get_tracer().instant(
+                "scheduler.quarantined", cat="scheduler",
+                job=spec.name, attempt=attempt,
             )
             while True:
                 qexec = ProcessPoolExecutor(max_workers=1, mp_context=ctx)
@@ -450,14 +492,7 @@ class JobScheduler:
                     qexec.shutdown(wait=False, cancel_futures=True)
                 if attempt <= spec.max_retries:
                     delay = self._backoff_delay(attempt)
-                    self._log(
-                        "retrying",
-                        key=spec.key,
-                        name=spec.name,
-                        attempt=attempt,
-                        reason=reason,
-                        backoff_s=delay,
-                    )
+                    self._note_retry(spec, attempt, reason, delay)
                     time.sleep(delay)
                     attempt += 1
                     continue
@@ -518,6 +553,10 @@ class JobScheduler:
                             requeue(spec, attempt, 0.0)
                     in_flight.clear()
                     self._log("pool_rebuilt", pending=len(waiting))
+                    get_tracer().instant(
+                        "scheduler.pool_rebuilt", cat="scheduler",
+                        pending=len(waiting),
+                    )
                     executor = self._new_executor(ctx, len(waiting) or 1)
                     for spec, attempt in quarantine:
                         run_quarantined(spec, attempt)

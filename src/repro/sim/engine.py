@@ -12,8 +12,11 @@ timing parameters in the paper are given in ns).
 from __future__ import annotations
 
 import heapq
+import time as _time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
+
+from repro.obs.tracer import Tracer, get_tracer
 
 
 @dataclass(order=True)
@@ -79,6 +82,15 @@ class EventEngine:
         # incrementally: __len__ sits on the hot scheduling path and must
         # not rescan the heap.
         self._live = 0
+        # Explicit tracer override; None falls back to the global tracer,
+        # which is disabled by default. All instrumentation lives in run()
+        # behind a single bool so step() stays untouched and a disabled
+        # tracer costs one attribute test per run() call.
+        self._tracer: Optional[Tracer] = None
+
+    def set_tracer(self, tracer: Optional[Tracer]) -> None:
+        """Attach a specific tracer (None reverts to the global one)."""
+        self._tracer = tracer
 
     @property
     def now(self) -> float:
@@ -149,6 +161,12 @@ class EventEngine:
         ``now`` at the last executed event, so callers can resume with
         another :meth:`run` call without skipping simulated time.
         """
+        tr = self._tracer if self._tracer is not None else get_tracer()
+        traced = tr.enabled
+        if traced:
+            t0 = _time.perf_counter()
+            sim0 = self._now
+            depth0 = self._live
         count = 0
         while True:
             if max_events is not None and count >= max_events:
@@ -160,10 +178,23 @@ class EventEngine:
                 break
             self.step()
             count += 1
+            # Sample queue depth every 64 events: enough resolution for a
+            # Perfetto track, negligible cost when tracing is live.
+            if traced and count & 63 == 0:
+                tr.counter(
+                    "engine.queue_depth", self._live, cat="engine",
+                    sim_time_ns=self._now,
+                )
         if until is not None and until > self._now:
             t = self.peek_time()
             if t is None or t > until:
                 self._now = until
+        if traced:
+            tr.complete(
+                "engine.run", t0, _time.perf_counter(), cat="engine",
+                events=count, queue_depth_start=depth0, queue_depth_end=self._live,
+                sim_start_ns=sim0, sim_end_ns=self._now,
+            )
         return count
 
     def reset(self) -> None:

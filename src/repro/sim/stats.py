@@ -112,6 +112,27 @@ class TimeWeightedStat:
             el += dt
         return ws / el if el > 0 else self._value
 
+    @property
+    def elapsed(self) -> float:
+        """Total signal-holding time accumulated so far."""
+        return self._elapsed
+
+    def reset(self, initial: Optional[float] = None, start_time: float = 0.0) -> None:
+        """Restart accumulation, optionally at a new level/origin.
+
+        Needed when the same registry outlives one simulation run: the
+        next run restarts its clock at zero, which :meth:`update` would
+        otherwise reject as time going backwards.
+        """
+        if initial is not None:
+            self.initial = initial
+        self._value = self.initial
+        self._last_time = start_time
+        self._weighted_sum = 0.0
+        self._elapsed = 0.0
+        self.min = self.initial
+        self.max = self.initial
+
 
 class Histogram:
     """Fixed-bin histogram over [lo, hi) with under/overflow buckets."""
@@ -146,9 +167,41 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def reset(self) -> None:
+        self.bins = [0] * self.nbins
+        self.underflow = 0
+        self.overflow = 0
+        self.count = 0
+        self.total = 0.0
+
     def bin_edges(self) -> List[float]:
         w = (self.hi - self.lo) / self.nbins
         return [self.lo + i * w for i in range(self.nbins + 1)]
+
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-th percentile (``0 <= q <= 100``).
+
+        Walks the cumulative bin counts and interpolates linearly within
+        the containing bin. Samples in the underflow bucket are treated
+        as sitting at ``lo``, overflow at ``hi`` — the estimate is
+        clamped to the histogram range by construction. Raises
+        :class:`ValueError` for an empty histogram or ``q`` out of range.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile out of [0, 100]: {q}")
+        if self.count == 0:
+            raise ValueError(f"percentile of empty histogram {self.name!r}")
+        target = q / 100.0 * self.count
+        cum = self.underflow
+        if target <= cum:
+            return self.lo
+        w = (self.hi - self.lo) / self.nbins
+        for i, n in enumerate(self.bins):
+            if n and target <= cum + n:
+                frac = (target - cum) / n
+                return self.lo + (i + frac) * w
+            cum += n
+        return self.hi
 
 
 @dataclass
@@ -226,16 +279,65 @@ class StatRegistry:
             if k.startswith(pre):
                 yield k, v
 
-    def snapshot(self) -> Dict[str, float]:
-        """Flat dict of scalar values (counters and means only)."""
-        out: Dict[str, float] = {}
-        for k, v in self.items():
-            if isinstance(v, Counter):
-                out[k] = v.value
-            elif isinstance(v, RunningMean):
-                out[k] = v.mean
-            elif isinstance(v, TimeWeightedStat):
-                out[k] = v.mean()
-            elif isinstance(v, Histogram):
-                out[k] = v.mean
-        return out
+    def snapshot(self, structured: bool = False) -> Dict[str, object]:
+        """Snapshot every registered stat.
+
+        Flat mode (default, backward compatible): one scalar per stat.
+        Structured mode: one JSON-serializable dict per stat, typed by a
+        ``"type"`` field — the contract consumed by
+        :func:`repro.obs.metrics.export_metrics`. Non-finite sentinels
+        (an empty :class:`RunningMean`'s ±inf min/max) become ``None``
+        so the snapshot always survives ``json.dumps``.
+        """
+        if not structured:
+            out: Dict[str, object] = {}
+            for k, v in self.items():
+                if isinstance(v, Counter):
+                    out[k] = v.value
+                elif isinstance(v, RunningMean):
+                    out[k] = v.mean
+                elif isinstance(v, TimeWeightedStat):
+                    out[k] = v.mean()
+                elif isinstance(v, Histogram):
+                    out[k] = v.mean
+            return out
+        return {k: _describe(v) for k, v in self.items()}
+
+
+def _describe(stat: object) -> Dict[str, object]:
+    """One stat → JSON-serializable typed dict (see ``snapshot``)."""
+    if isinstance(stat, Counter):
+        return {"type": "counter", "value": stat.value}
+    if isinstance(stat, RunningMean):
+        return {
+            "type": "mean",
+            "n": stat.n,
+            "mean": stat.mean,
+            "stddev": stat.stddev,
+            "min": stat.min if stat.n else None,
+            "max": stat.max if stat.n else None,
+        }
+    if isinstance(stat, TimeWeightedStat):
+        return {
+            "type": "time_weighted",
+            "mean": stat.mean(),
+            "value": stat.value,
+            "min": stat.min,
+            "max": stat.max,
+            "elapsed": stat.elapsed,
+        }
+    if isinstance(stat, Histogram):
+        empty = stat.count == 0
+        return {
+            "type": "histogram",
+            "count": stat.count,
+            "mean": stat.mean,
+            "lo": stat.lo,
+            "hi": stat.hi,
+            "underflow": stat.underflow,
+            "overflow": stat.overflow,
+            "p50": None if empty else stat.percentile(50),
+            "p90": None if empty else stat.percentile(90),
+            "p99": None if empty else stat.percentile(99),
+        }
+    raise TypeError(f"unknown stat type: {type(stat).__name__}")

@@ -167,8 +167,14 @@ class TraceCursor:
         arrays["divergence"] = np.asarray(
             [b.divergent_warp_ratio for b in self._batches], dtype=np.float64
         )
-        arrays["labels"] = np.asarray([b.label for b in self._batches], dtype=object)
-        np.savez_compressed(path, allow_pickle=True, **arrays)
+        # Unicode dtype (not object) so the archive needs no pickling; and
+        # no stray keywords — np.savez_compressed treats *every* kwarg as
+        # an array to save, so `allow_pickle=True` here would silently
+        # write a bogus 0-d array named "allow_pickle" into the archive.
+        arrays["labels"] = np.asarray(
+            [b.label for b in self._batches], dtype=np.str_
+        )
+        np.savez_compressed(path, **arrays)
 
     @classmethod
     def load(cls, path) -> "TraceCursor":

@@ -18,6 +18,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.hmc.config import HMC_2_0, HmcConfig
+from repro.obs.tracer import get_tracer
 from repro.thermal.cooling import COMMODITY_SERVER, CoolingSolution
 from repro.thermal.floorplan import Floorplan
 from repro.thermal.operators import get_operators
@@ -149,7 +150,11 @@ class HmcThermalModel:
         self, traffic: TrafficPoint, vault_weights: Optional[np.ndarray] = None
     ) -> np.ndarray:
         """Full steady node-temperature vector for an operating point."""
-        T = self._steady.solve(self._power_vector(traffic, vault_weights))
+        with get_tracer().span(
+            "thermal.steady_solve", cat="thermal",
+            nodes=self.network.num_nodes,
+        ):
+            T = self._steady.solve(self._power_vector(traffic, vault_weights))
         self._last_T = T
         return T
 
@@ -234,7 +239,11 @@ class HmcThermalModel:
         control loop; returns the settled peak DRAM temperature (°C).
         """
         P = self._power_vector(traffic, vault_weights, dram_energy_scale)
-        T, _ = self._transient.run_to_steady(P, dt_s, tol_c=tol_c)
+        with get_tracer().span(
+            "thermal.settle", cat="thermal", dt_s=dt_s, tol_c=tol_c
+        ) as span:
+            T, steps = self._transient.run_to_steady(P, dt_s, tol_c=tol_c)
+            span.set(steps=steps)
         self._last_T = T
         names = [f"dram{i}" for i in range(self.config.num_dram_dies)]
         return self._peak_over_layers(T, names)

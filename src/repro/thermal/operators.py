@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.hmc.config import HmcConfig
+from repro.obs.tracer import get_tracer
 from repro.thermal.cooling import CoolingSolution
 from repro.thermal.floorplan import Floorplan
 from repro.thermal.rc_network import (
@@ -80,22 +81,26 @@ def get_operators(
         _HITS += 1
         return ops
     _MISSES += 1
-    stack = build_stack(config)
-    floorplan = Floorplan.for_config(config, sub=sub)
-    network = build_network(
-        stack,
-        floorplan,
-        sink_resistance_c_w=cooling.thermal_resistance_c_w,
-        interface_scale=interface_scale,
-        board_resistance_c_w=board_resistance_c_w,
-    )
-    ops = ThermalOperators(
-        stack=stack,
-        floorplan=floorplan,
-        network=network,
-        steady=SteadySolver(network, ambient_c=ambient_c),
-        step_lus=StepLuCache(network),
-    )
+    with get_tracer().span(
+        "thermal.operators_build", cat="thermal",
+        cooling=cooling.name, sub=int(sub),
+    ):
+        stack = build_stack(config)
+        floorplan = Floorplan.for_config(config, sub=sub)
+        network = build_network(
+            stack,
+            floorplan,
+            sink_resistance_c_w=cooling.thermal_resistance_c_w,
+            interface_scale=interface_scale,
+            board_resistance_c_w=board_resistance_c_w,
+        )
+        ops = ThermalOperators(
+            stack=stack,
+            floorplan=floorplan,
+            network=network,
+            steady=SteadySolver(network, ambient_c=ambient_c),
+            step_lus=StepLuCache(network),
+        )
     _CACHE[key] = ops
     return ops
 
@@ -117,8 +122,20 @@ def prewarm(
 
 
 def cache_stats() -> Dict[str, int]:
-    """Process-level cache counters (diagnostics and tests)."""
-    return {"entries": len(_CACHE), "hits": _HITS, "misses": _MISSES}
+    """Process-level cache counters (diagnostics and tests).
+
+    Includes aggregates over the per-bundle step-LU caches, so a metrics
+    snapshot shows both operator reuse (one assembly per package) and
+    step-factorization reuse (one LU per distinct dt).
+    """
+    return {
+        "entries": len(_CACHE),
+        "hits": _HITS,
+        "misses": _MISSES,
+        "step_lu_entries": sum(len(ops.step_lus) for ops in _CACHE.values()),
+        "step_lu_hits": sum(ops.step_lus.hits for ops in _CACHE.values()),
+        "step_lu_misses": sum(ops.step_lus.misses for ops in _CACHE.values()),
+    }
 
 
 def clear_cache() -> None:

@@ -22,6 +22,7 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro.obs.tracer import get_tracer
 from repro.thermal.rc_network import RcNetwork
 
 #: Default bound on cached step factorizations per solver/cache.
@@ -67,8 +68,11 @@ class StepLuCache:
             return lu
         self.misses += 1
         net = self.network
-        A = sp.csc_matrix(sp.diags(net.C / key) + net.G)
-        lu = spla.splu(A)
+        with get_tracer().span(
+            "thermal.lu_factorize", cat="thermal", dt_s=key, nodes=net.num_nodes
+        ):
+            A = sp.csc_matrix(sp.diags(net.C / key) + net.G)
+            lu = spla.splu(A)
         self._lus[key] = lu
         while len(self._lus) > self.max_entries:
             self._lus.popitem(last=False)
@@ -164,15 +168,19 @@ class TransientSolver:
         base_rhs = P + net.B * self.ambient_c
         T = self.T
         taken = 0
-        for _ in range(max_steps):
-            T_next = lu.solve(c_over_dt * T + base_rhs)
-            taken += 1
-            converged = (
-                tol_c is not None and float(np.max(np.abs(T_next - T))) < tol_c
-            )
-            T = T_next
-            if converged:
-                break
+        with get_tracer().span(
+            "thermal.integrate", cat="thermal", dt_s=dt_s, max_steps=max_steps
+        ) as span:
+            for _ in range(max_steps):
+                T_next = lu.solve(c_over_dt * T + base_rhs)
+                taken += 1
+                converged = (
+                    tol_c is not None and float(np.max(np.abs(T_next - T))) < tol_c
+                )
+                T = T_next
+                if converged:
+                    break
+            span.set(steps=taken)
         self.T = T
         return T, taken
 

@@ -1,0 +1,97 @@
+"""Chrome trace-event export: rehoming, metadata, structural validation."""
+
+import json
+
+import pytest
+
+from repro.obs.chrome import (
+    SIM_PID,
+    SIM_TID,
+    TraceValidationError,
+    export_chrome_trace,
+    to_chrome_events,
+    validate_chrome_trace,
+)
+from repro.obs.tracer import Tracer
+
+
+def _sample_records():
+    tr = Tracer(enabled=True)
+    with tr.span("work", cat="engine", n=3):
+        pass
+    tr.instant("warn", cat="core")
+    tr.counter("temp_c", 85.0, cat="sim", sim_time_ns=5_000.0, clock="sim")
+    return tr.records
+
+
+class TestConversion:
+    def test_wall_events_keep_real_pid(self):
+        events = to_chrome_events(_sample_records())
+        wall = [e for e in events if e.get("cat") == "engine"]
+        assert wall and all(e["pid"] != SIM_PID for e in wall)
+
+    def test_sim_clock_rows_rehomed_to_virtual_lane(self):
+        events = to_chrome_events(_sample_records())
+        sim = [e for e in events if e.get("cat") == "sim"]
+        assert sim and all(
+            e["pid"] == SIM_PID and e["tid"] == SIM_TID for e in sim
+        )
+        # sim timestamps are sim-µs
+        assert sim[0]["ts"] == pytest.approx(5.0)
+
+    def test_metadata_names_every_lane(self):
+        events = to_chrome_events(_sample_records())
+        meta = [e for e in events if e["ph"] == "M"]
+        assert any(e["pid"] == SIM_PID for e in meta)
+        assert any(e["pid"] != SIM_PID for e in meta)
+
+    def test_no_sim_rows_no_sim_lane(self):
+        tr = Tracer(enabled=True)
+        tr.instant("x")
+        events = to_chrome_events(tr.records)
+        assert all(e["pid"] != SIM_PID for e in events)
+
+
+class TestExport:
+    def test_written_document_round_trips(self, tmp_path):
+        path = tmp_path / "trace.json"
+        doc = export_chrome_trace(_sample_records(), path, {"tool": "test"})
+        on_disk = json.loads(path.read_text())
+        assert on_disk == doc
+        assert on_disk["displayTimeUnit"] == "ms"
+        assert on_disk["otherData"] == {"tool": "test"}
+
+
+class TestValidation:
+    def test_valid_document_summarized(self):
+        doc = export_chrome_trace(_sample_records())
+        summary = validate_chrome_trace(doc)
+        assert summary["events"] == len(doc["traceEvents"])
+        assert summary["phases"]["X"] == 1
+        assert summary["phases"]["C"] == 1
+        assert "engine" in summary["categories"]
+        assert "__metadata" not in summary["categories"]
+        assert SIM_PID in summary["pids"]
+
+    @pytest.mark.parametrize(
+        "doc",
+        [
+            [],  # not an object
+            {},  # missing traceEvents
+            {"traceEvents": {}},  # not an array
+            {"traceEvents": [], "displayTimeUnit": "s"},
+            {"traceEvents": [{"ph": "Q", "name": "x", "pid": 1, "tid": 1}]},
+            {"traceEvents": [{"ph": "i", "pid": 1, "tid": 1}]},  # no name
+            {"traceEvents": [{"ph": "X", "name": "x", "pid": 1, "tid": 1}]},
+            {
+                "traceEvents": [
+                    {"ph": "X", "name": "x", "pid": 1, "tid": 1,
+                     "ts": 0, "dur": -1}
+                ]
+            },
+            {"traceEvents": [{"ph": "i", "name": "x", "pid": "1", "tid": 1}]},
+        ],
+    )
+    def test_malformed_documents_rejected(self, doc):
+        with pytest.raises(TraceValidationError):
+            validate_chrome_trace(doc)

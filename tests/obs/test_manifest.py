@@ -1,0 +1,67 @@
+"""Run manifests: collection, persistence, reporting."""
+
+import json
+
+import pytest
+
+from repro.obs.manifest import MANIFEST_SCHEMA_ID, RunManifest, format_report
+
+
+class TestCollect:
+    def test_fills_provenance_automatically(self):
+        m = RunManifest.collect(
+            command="test", config={"a": 1}, seed=7,
+            wall_duration_s=1.5, sim_duration_s=0.001,
+            outputs=["out.txt"], note="hi",
+        )
+        assert m.command == "test"
+        assert m.seed == 7
+        assert len(m.code_fingerprint) >= 16
+        assert m.package_version
+        assert m.created_unix > 0
+        assert set(m.host) == {"hostname", "platform", "python"}
+        assert m.outputs == ["out.txt"]
+        assert m.extra == {"note": "hi"}
+
+    def test_fingerprint_matches_job_cache_key(self):
+        from repro.service.fingerprint import code_fingerprint
+
+        m = RunManifest.collect(command="test")
+        assert m.code_fingerprint == code_fingerprint()
+
+
+class TestPersistence:
+    def test_write_load_round_trip(self, tmp_path):
+        m = RunManifest.collect(command="roundtrip", seed=3, config={"k": "v"})
+        path = m.write(tmp_path / "manifest.json")
+        loaded = RunManifest.load(path)
+        assert loaded == m
+        assert json.loads(path.read_text())["schema"] == MANIFEST_SCHEMA_ID
+
+    def test_load_rejects_non_manifest(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"schema": "nope"}')
+        with pytest.raises(ValueError, match="not a manifest"):
+            RunManifest.load(path)
+
+    def test_load_ignores_unknown_fields(self, tmp_path):
+        m = RunManifest.collect(command="fwd")
+        doc = m.to_dict()
+        doc["future_field"] = {"x": 1}  # written by a later schema rev
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps(doc))
+        assert RunManifest.load(path).command == "fwd"
+
+
+class TestReport:
+    def test_report_mentions_key_facts(self):
+        m = RunManifest.collect(
+            command="repro trace", seed=5, config={"workload": "kcore"},
+            wall_duration_s=0.25, outputs=["trace.json"],
+        )
+        text = format_report(m)
+        assert "repro trace" in text
+        assert "seed:        5" in text
+        assert "workload: kcore" in text
+        assert "trace.json" in text
+        assert m.code_fingerprint[:16] in text

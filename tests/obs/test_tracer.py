@@ -1,0 +1,131 @@
+"""Span tracer: no-op fast path, record shapes, sinks, global install."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.tracer import (
+    NULL_SPAN,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    traced,
+    tracing,
+)
+
+
+class TestDisabledTracer:
+    def test_span_returns_shared_null_singleton(self):
+        tr = Tracer(enabled=False)
+        assert tr.span("x") is NULL_SPAN
+        assert tr.span("y", cat="z", foo=1) is NULL_SPAN
+
+    def test_null_span_is_inert(self):
+        with NULL_SPAN as s:
+            s.set(anything=1)
+
+    def test_emits_are_dropped(self):
+        tr = Tracer(enabled=False)
+        tr.instant("i")
+        tr.counter("c", 1.0)
+        tr.complete("x", 0.0, 1.0)
+        assert len(tr) == 0
+
+    def test_global_default_is_disabled(self):
+        assert get_tracer().enabled is False
+
+
+class TestSpans:
+    def test_span_records_complete_event(self):
+        tr = Tracer(enabled=True)
+        with tr.span("work", cat="test", k=1) as s:
+            s.set(result=2)
+        (rec,) = tr.records
+        assert rec["ph"] == "X" and rec["name"] == "work"
+        assert rec["cat"] == "test"
+        assert rec["dur"] >= 0.0
+        assert rec["args"] == {"k": 1, "result": 2}
+        assert rec["pid"] > 0 and rec["tid"] == threading.get_ident()
+
+    def test_span_attaches_error_on_exception(self):
+        tr = Tracer(enabled=True)
+        with pytest.raises(RuntimeError):
+            with tr.span("boom"):
+                raise RuntimeError("x")
+        (rec,) = tr.records
+        assert rec["args"]["error"] == "RuntimeError"
+
+    def test_sim_time_rides_into_args(self):
+        tr = Tracer(enabled=True)
+        with tr.span("s", sim_time_ns=1500.0):
+            pass
+        (rec,) = tr.records
+        assert rec["sim_ns"] == 1500.0
+
+
+class TestInstantsAndCounters:
+    def test_instant_wall_clock(self):
+        tr = Tracer(enabled=True)
+        tr.instant("warn", cat="core", level=3)
+        (rec,) = tr.records
+        assert rec["ph"] == "i" and rec["s"] == "t"
+        assert rec["args"] == {"level": 3}
+        assert "clock" not in rec
+
+    def test_sim_clock_counter_uses_sim_microseconds(self):
+        tr = Tracer(enabled=True)
+        tr.counter("temp", 84.5, sim_time_ns=2_000.0, clock="sim")
+        (rec,) = tr.records
+        assert rec["clock"] == "sim"
+        assert rec["ts"] == pytest.approx(2.0)  # 2000 ns = 2 µs
+        assert rec["args"] == {"value": 84.5}
+
+    def test_counter_value_coerced_to_float(self):
+        tr = Tracer(enabled=True)
+        tr.counter("n", 3)
+        assert tr.records[0]["args"]["value"] == 3.0
+
+
+class TestSinkAndLifecycle:
+    def test_jsonl_sink_mirrors_records(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Tracer(enabled=True, sink=path) as tr:
+            tr.instant("a")
+            tr.counter("b", 1.0)
+        lines = path.read_text().strip().splitlines()
+        assert [json.loads(l)["name"] for l in lines] == ["a", "b"]
+
+    def test_clear_empties_buffer(self):
+        tr = Tracer(enabled=True)
+        tr.instant("x")
+        tr.clear()
+        assert len(tr) == 0
+
+
+class TestGlobalInstall:
+    def test_tracing_context_swaps_and_restores(self):
+        before = get_tracer()
+        with tracing() as tr:
+            assert get_tracer() is tr
+            assert tr.enabled
+        assert get_tracer() is before
+
+    def test_set_tracer_returns_previous(self):
+        mine = Tracer(enabled=True)
+        old = set_tracer(mine)
+        try:
+            assert get_tracer() is mine
+        finally:
+            assert set_tracer(old) is mine
+
+    def test_traced_decorator_resolves_at_call_time(self):
+        @traced(cat="test")
+        def add(a, b):
+            return a + b
+
+        assert add(1, 2) == 3  # disabled: pure pass-through
+        with tracing() as tr:
+            assert add(3, 4) == 7
+        names = [r["name"] for r in tr.records]
+        assert any("add" in n for n in names)

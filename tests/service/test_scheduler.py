@@ -120,6 +120,33 @@ class TestSerialExecution:
         counts = JobJournal.summary(journal_path)
         assert counts["retrying"] == 2 and counts["completed"] == 1
 
+    def test_completed_events_carry_both_timing_spellings(self, tmp_path):
+        # New readers use duration_s/attempt; old readers still find
+        # elapsed_s/attempts — both spellings are written.
+        journal_path = tmp_path / "journal.jsonl"
+        with JobJournal(journal_path) as journal:
+            JobScheduler(serial=True, journal=journal).run(ok_specs(1))
+        (completed,) = [
+            e for e in JobJournal.read(journal_path)
+            if e["event"] == "completed"
+        ]
+        assert completed["duration_s"] == completed["elapsed_s"]
+        assert completed["attempt"] == completed["attempts"] == 1
+        report = JobJournal.time_report(journal_path)
+        (row,) = report.values()
+        assert row["runs"] == 1 and row["failed"] == 0
+
+    def test_tracing_records_scheduler_spans(self):
+        from repro.obs.tracer import tracing
+
+        with tracing() as tr:
+            report = JobScheduler(serial=True).run(ok_specs(2))
+        assert report.ok
+        names = [r["name"] for r in tr.records]
+        assert names.count("scheduler.job") == 2
+        assert names.count("scheduler.job.run") == 2
+        assert "scheduler.sweep" in names
+
     def test_retries_exhausted_fails_with_attempt_count(self, tmp_path):
         spec = JobSpec(
             kind="t-fail-until", name="doomed",

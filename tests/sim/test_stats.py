@@ -77,6 +77,28 @@ class TestTimeWeighted:
         tw.update(-1.0, now=2.0)
         assert tw.min == -1.0 and tw.max == 9.0
 
+    def test_elapsed_accumulates_held_time(self):
+        tw = TimeWeightedStat(initial=1.0, start_time=0.0)
+        tw.update(2.0, now=3.0)
+        tw.update(0.0, now=5.0)
+        assert tw.elapsed == pytest.approx(5.0)
+
+    def test_reset_restarts_the_clock(self):
+        # A registry can outlive one simulation run; without reset the next
+        # run's t=0 updates would look like time travel.
+        tw = TimeWeightedStat(initial=0.0)
+        tw.update(4.0, now=10.0)
+        tw.reset()
+        tw.update(2.0, now=1.0)  # would raise before reset
+        assert tw.mean(now=2.0) == pytest.approx(1.0)
+        assert tw.min == 0.0 and tw.max == 2.0
+
+    def test_reset_with_new_initial(self):
+        tw = TimeWeightedStat(initial=0.0)
+        tw.update(9.0, now=1.0)
+        tw.reset(initial=5.0)
+        assert tw.value == 5.0 and tw.min == 5.0 and tw.max == 5.0
+
 
 class TestHistogram:
     def test_bin_placement(self):
@@ -106,6 +128,48 @@ class TestHistogram:
             Histogram("h", 1.0, 1.0, 4)
         with pytest.raises(ValueError):
             Histogram("h", 0.0, 1.0, 0)
+
+    def test_reset_clears_all_buckets(self):
+        h = Histogram("h", 0.0, 1.0, 4)
+        h.add(-1.0)
+        h.add(0.5)
+        h.add(2.0)
+        h.reset()
+        assert h.count == 0 and h.total == 0.0
+        assert h.underflow == 0 and h.overflow == 0
+        assert h.bins == [0, 0, 0, 0]
+
+    def test_percentile_uniform_fill(self):
+        h = Histogram("h", 0.0, 10.0, 10)
+        for i in range(100):
+            h.add(i / 10.0)  # 0.0, 0.1, ..., 9.9 — 10 per bin
+        assert h.percentile(50) == pytest.approx(5.0)
+        assert h.percentile(99) == pytest.approx(9.9)
+        assert h.percentile(0) == 0.0
+        assert h.percentile(100) == pytest.approx(10.0)
+
+    def test_percentile_underflow_maps_to_lo(self):
+        h = Histogram("h", 0.0, 10.0, 10)
+        h.add(-5.0)
+        h.add(-3.0)
+        h.add(5.0)
+        assert h.percentile(10) == 0.0
+
+    def test_percentile_overflow_maps_to_hi(self):
+        h = Histogram("h", 0.0, 10.0, 10)
+        h.add(5.0)
+        h.add(50.0)
+        assert h.percentile(99) == 10.0
+
+    def test_percentile_errors(self):
+        h = Histogram("h", 0.0, 1.0, 2)
+        with pytest.raises(ValueError, match="empty"):
+            h.percentile(50)
+        h.add(0.5)
+        with pytest.raises(ValueError, match="out of"):
+            h.percentile(-1)
+        with pytest.raises(ValueError, match="out of"):
+            h.percentile(101)
 
 
 class TestRegistry:
@@ -167,6 +231,41 @@ class TestRegistry:
         reg.running_mean("m").add(4.0)
         snap = reg.snapshot()
         assert snap == {"c": 2.0, "m": 4.0}
+
+    def test_structured_snapshot_types_every_stat(self):
+        import json
+
+        reg = StatRegistry()
+        reg.counter("c").add(3)
+        reg.running_mean("m").add(2.0)
+        tw = reg.time_weighted("tw", initial=1.0)
+        tw.update(3.0, now=2.0)
+        h = reg.histogram("h", 0.0, 10.0, 10)
+        h.add(5.0)
+        snap = reg.snapshot(structured=True)
+        assert snap["c"] == {"type": "counter", "value": 3.0}
+        assert snap["m"]["type"] == "mean" and snap["m"]["n"] == 1
+        assert snap["tw"]["type"] == "time_weighted"
+        assert snap["tw"]["mean"] == pytest.approx(1.0)
+        assert snap["h"]["type"] == "histogram" and snap["h"]["count"] == 1
+        assert snap["h"]["p50"] == pytest.approx(5.5)
+        json.dumps(snap)  # must always be JSON-serializable
+
+    def test_structured_snapshot_empty_stats_are_json_safe(self):
+        import json
+
+        reg = StatRegistry()
+        reg.running_mean("m")  # min/max are ±inf internally
+        reg.histogram("h", 0.0, 1.0, 2)
+        snap = reg.snapshot(structured=True)
+        assert snap["m"]["min"] is None and snap["m"]["max"] is None
+        assert snap["h"]["p50"] is None
+        json.dumps(snap)
+
+    def test_flat_snapshot_unchanged_by_structured_mode(self):
+        reg = StatRegistry()
+        reg.counter("c").add(2)
+        assert reg.snapshot() == {"c": 2.0}
 
     def test_items_filters_by_scope(self):
         reg = StatRegistry()

@@ -113,3 +113,25 @@ class TestPersistence:
         path = tmp_path / "empty.npz"
         TraceCursor([]).save(path)
         assert len(TraceCursor.load(path)) == 0
+
+    def test_archive_contains_exactly_the_field_arrays(self, tmp_path):
+        # Regression: ``savez_compressed(path, allow_pickle=True, **arrays)``
+        # silently saved a bogus array named "allow_pickle" (every kwarg
+        # becomes an archive member), polluting the archive.
+        import numpy as np
+
+        path = tmp_path / "trace.npz"
+        TraceCursor([OpBatch(reads=1, writes=2, atomics=3, label="x")]).save(path)
+        with np.load(path, allow_pickle=False) as archive:
+            assert sorted(archive.files) == sorted([
+                "reads", "writes", "atomics", "atomics_with_return",
+                "compute_cycles", "threads", "divergence", "labels",
+            ])
+
+    def test_labels_load_without_pickle(self, tmp_path):
+        # str_ dtype arrays need no pickling, so a fresh archive must be
+        # readable even with allow_pickle=False.
+        path = tmp_path / "trace.npz"
+        TraceCursor([OpBatch(1, 1, 1, label="epoch-0")]).save(path)
+        loaded = TraceCursor.load(path)
+        assert loaded.next().label == "epoch-0"

@@ -47,6 +47,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cache", "nope"])
 
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace", "kcore"])
+        assert args.command == "trace"
+        assert args.output == "trace.json"
+        assert args.policy == "coolpim-hw" and not args.quick
+        assert args.jsonl is None
+
+    def test_trace_rejects_bad_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "kcore", "--policy", "nope"])
+
+    def test_report_flags(self):
+        args = build_parser().parse_args(
+            ["report", "t.json", "--require", "engine,core", "--diff", "b.json"]
+        )
+        assert args.file == "t.json"
+        assert args.require == "engine,core" and args.diff == "b.json"
+
     def test_command_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -110,6 +128,61 @@ class TestBatchDispatch:
         assert "removed 1" in capsys.readouterr().out
 
 
+class TestTraceDispatch:
+    def test_trace_produces_all_three_artifacts(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.json"
+        rc = main(["trace", "kcore", "--dataset", "ldbc-tiny", "--quick",
+                   "-o", str(out)])
+        assert rc == 0
+        # Chrome trace with spans from every instrumented layer.
+        doc = json.loads(out.read_text())
+        cats = {e.get("cat") for e in doc["traceEvents"]}
+        for layer in ("engine", "core", "thermal", "scheduler", "sim"):
+            assert layer in cats, f"missing {layer} spans"
+        # Metrics + manifest written next to the trace.
+        metrics = json.loads((tmp_path / "trace.metrics.json").read_text())
+        assert any(k.startswith("sim.") for k in metrics["stats"])
+        manifest = json.loads((tmp_path / "trace.manifest.json").read_text())
+        assert manifest["command"] == "repro trace"
+
+    def test_report_validates_and_requires_layers(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "kcore", "--dataset", "ldbc-tiny", "--quick",
+                     "-o", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(out),
+                     "--require", "engine,core,thermal,scheduler,sim"]) == 0
+        assert "events" in capsys.readouterr().out
+        # A layer that is never emitted fails the gate.
+        assert main(["report", str(out), "--require", "nonexistent"]) == 1
+
+    def test_report_renders_metrics_and_manifest(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "kcore", "--dataset", "ldbc-tiny", "--quick",
+                     "-o", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(tmp_path / "trace.metrics.json")]) == 0
+        assert "# metrics" in capsys.readouterr().out
+        assert main(["report", str(tmp_path / "trace.manifest.json")]) == 0
+        assert "run manifest" in capsys.readouterr().out
+
+    def test_report_diff_of_identical_metrics(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "kcore", "--dataset", "ldbc-tiny", "--quick",
+                     "-o", str(out)]) == 0
+        capsys.readouterr()
+        metrics = str(tmp_path / "trace.metrics.json")
+        assert main(["report", metrics, "--diff", metrics]) == 0
+        assert "no metric differences" in capsys.readouterr().out
+
+    def test_report_unknown_document(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"what": "ever"}')
+        assert main(["report", str(bad)]) == 1
+
+
 class TestRunnerArtifacts:
     def test_out_dir_written(self, tmp_path, capsys):
         from repro.experiments import runner
@@ -119,6 +192,21 @@ class TestRunnerArtifacts:
         assert (tmp_path / "tables.txt").exists()
         fig5 = (tmp_path / "fig5.txt").read_text()
         assert "PIM rate" in fig5
+
+    def test_out_dir_gets_manifest(self, tmp_path, capsys):
+        from repro.experiments import runner
+        from repro.obs.manifest import RunManifest
+
+        rc = runner.main(
+            ["--only", "tables", "--out", str(tmp_path), "--seed", "4"]
+        )
+        assert rc == 0
+        manifest = RunManifest.load(tmp_path / "manifest.json")
+        assert manifest.command == "repro.experiments.runner"
+        assert manifest.seed == 4
+        assert manifest.config["experiments"] == ["tables"]
+        assert manifest.extra == {"ok": True}
+        assert str(tmp_path / "tables.txt") in manifest.outputs
 
     def test_run_experiment_by_id(self):
         from repro.experiments import runner

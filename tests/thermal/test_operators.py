@@ -23,7 +23,14 @@ class TestOperatorCache:
         b = operators.get_operators(HMC_2_0, COMMODITY_SERVER)
         assert a is b
         stats = operators.cache_stats()
-        assert stats == {"entries": 1, "hits": 1, "misses": 1}
+        assert stats == {
+            "entries": 1,
+            "hits": 1,
+            "misses": 1,
+            "step_lu_entries": 0,
+            "step_lu_hits": 0,
+            "step_lu_misses": 0,
+        }
 
     def test_distinct_keys_get_distinct_bundles(self):
         a = operators.get_operators(HMC_2_0, COMMODITY_SERVER)
