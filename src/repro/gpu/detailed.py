@@ -7,11 +7,20 @@ real links, real bank occupancy, functional PIM execution — while
 coupling the same thermal model and temperature-phase management
 (frequency derating, refresh doubling, ERRSTAT warnings).
 
-It is a validation microscope, not a throughput engine: wall time is a
-few microseconds per transaction, so use it for traces up to ~10⁵
-transactions (tests, microstudies, cross-validation against the fluid
-model). Addresses are synthesized per epoch: streaming reads/writes
-stride across vaults; atomics scatter over a property region sized by the
+Two interchangeable transaction engines drive the cube:
+
+``engine="batched"`` (default)
+    The struct-of-arrays engine (:mod:`repro.hmc.batch`): each thermal
+    window's worth of transactions is timestamped in one vectorized
+    call. This raises the practical budget to ≥10⁶ transactions
+    (≥10× the scalar path, guarded by ``benchmarks/test_detailed_bench``).
+``engine="event"``
+    The original per-transaction :meth:`HmcCube.submit` loop, kept as
+    the reference oracle — both engines consume the same RNG stream and
+    produce bit-identical results (pinned by the equivalence tests).
+
+Addresses are synthesized per epoch: streaming reads/writes stride
+across vaults; atomics scatter over a property region sized by the
 epoch's thread count, reproducing hub-style bank reuse on small regions.
 """
 
@@ -32,7 +41,9 @@ from repro.hmc.config import HMC_2_0, HmcConfig
 from repro.hmc.cube import HmcCube
 from repro.hmc.dram_timing import TemperaturePhase, TemperaturePhasePolicy
 from repro.hmc.isa import PimInstruction, PimOpcode
-from repro.hmc.packet import PacketType, Request
+from repro.hmc.packet import FLIT_BYTES, PTYPE_CODES, PTYPES_BY_CODE, PacketType, Request
+from repro.hmc.scan import seeded_fold
+from repro.sim.stats import StatRegistry
 from repro.thermal.model import HmcThermalModel
 from repro.thermal.power import TrafficPoint
 from repro.thermal.sensor import ThermalSensor
@@ -40,6 +51,17 @@ from repro.thermal.sensor import ThermalSensor
 #: Address-space layout (byte offsets into the cube).
 STREAM_REGION = 0
 PROPERTY_REGION = 4 << 30  # uncacheable offloading-target data
+
+_CODE_READ = PTYPE_CODES[PacketType.READ64]
+_CODE_WRITE = PTYPE_CODES[PacketType.WRITE64]
+_CODE_PIM = PTYPE_CODES[PacketType.PIM]
+
+#: Shared all-zero write line (streaming writes carry no modelled data).
+_ZERO_LINE = b"\0" * 64
+
+#: The detailed mode's atomic instruction (Sec. VI: graph updates are
+#: dominated by integer add atomics).
+_PIM_TEMPLATE = PimInstruction(PimOpcode.ADD_IMM, address=0, immediate=1)
 
 
 @dataclass
@@ -56,6 +78,10 @@ class DetailedResult:
     thermal_warnings: int
     mean_latency_ns: float
     link_flits: int
+    #: Which transaction engine produced this result.
+    engine: str = "batched"
+    #: Achieved external-link bandwidth (all FLITs over the run time).
+    ext_bandwidth_gbs: float = 0.0
     #: (time_s, peak_temp_c) thermal samples.
     thermal_trace: List[Tuple[float, float]] = field(default_factory=list)
 
@@ -72,11 +98,15 @@ class DetailedSimulator:
         sensor: Optional[ThermalSensor] = None,
         phase_policy: Optional[TemperaturePhasePolicy] = None,
         thermal_update_txns: int = 256,
-        max_transactions: int = 200_000,
+        max_transactions: int = 1_000_000,
         seed: int = 0,
+        engine: str = "batched",
+        stats: Optional[StatRegistry] = None,
     ) -> None:
         if thermal_update_txns <= 0:
             raise ValueError(f"update interval must be positive: {thermal_update_txns}")
+        if engine not in ("batched", "event"):
+            raise ValueError(f"engine must be 'batched' or 'event', got {engine!r}")
         self.gpu = gpu
         self.hmc_config = hmc_config
         self.cache = cache or CacheModel(gpu)
@@ -86,6 +116,10 @@ class DetailedSimulator:
         self.thermal_update_txns = thermal_update_txns
         self.max_transactions = max_transactions
         self.seed = seed
+        self.engine = engine
+        #: Per-simulator stat registry (``detailed.*`` scope); each run()
+        #: resets and refills it.
+        self.stats = stats if stats is not None else StatRegistry()
 
     # -- address synthesis ----------------------------------------------------
 
@@ -95,6 +129,41 @@ class DetailedSimulator:
             return np.empty(0, dtype=np.int64)
         slots = max(1, span_bytes // stride)
         return region + rng.integers(0, slots, size=count) * stride
+
+    def _epoch_stream(
+        self, rng: np.random.Generator, demand, threads: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Synthesize one epoch's transaction stream as parallel arrays.
+
+        Returns ``(codes, addresses, is_host_member)`` already shuffled
+        into issue order. Host atomics appear as read+write pairs; the
+        boolean marker tracks their members through the shuffle so
+        truncated epochs can account *submitted* host atomics.
+        """
+        # 32 B-aligned addresses: the vault interleave granularity is
+        # 32 B, so coarser strides would alias onto a subset of vaults.
+        span = max(4096, threads * 64)
+        reads = self._addresses(rng, demand.reads, STREAM_REGION, 64 << 20, 32)
+        writes = self._addresses(rng, demand.writes, STREAM_REGION + (1 << 30),
+                                 64 << 20, 32)
+        hosts = self._addresses(rng, 2 * demand.host_atomics,
+                                PROPERTY_REGION, span, 32)
+        pims = self._addresses(rng, demand.total_pim, PROPERTY_REGION,
+                               span, 16)
+
+        addrs = np.concatenate((reads, writes, hosts, pims))
+        codes = np.concatenate((
+            np.full(reads.size, _CODE_READ, dtype=np.int64),
+            np.full(writes.size, _CODE_WRITE, dtype=np.int64),
+            # host atomic = read + write pair
+            np.tile([_CODE_READ, _CODE_WRITE], hosts.size // 2).astype(np.int64),
+            np.full(pims.size, _CODE_PIM, dtype=np.int64),
+        ))
+        is_host = np.zeros(addrs.size, dtype=bool)
+        is_host[reads.size + writes.size : reads.size + writes.size + hosts.size] = True
+
+        perm = rng.permutation(addrs.size)  # avoid phase-locking with links
+        return codes[perm], addrs[perm], is_host[perm]
 
     # -- main loop --------------------------------------------------------------
 
@@ -109,11 +178,16 @@ class DetailedSimulator:
 
         policy.begin(launch, now_s=0.0)
         exempt = policy.thermal_exempt
+        batched = self.engine == "batched"
+
+        stats = self.stats.scoped("detailed")
+        batch_hist = stats.histogram("epoch_batch_txns", 0.0, 65536.0, 64)
+        batch_hist.reset()
 
         now_ns = 0.0
         txns = 0
         pim_total = 0
-        host_total = 0
+        host_members = 0  # submitted host-atomic member transactions
         warnings = 0
         latency_sum = 0.0
         peak_temp = self.thermal.peak_dram_c() if not exempt else self.thermal.ambient_c
@@ -159,58 +233,75 @@ class DetailedSimulator:
             traffic = self.cache.filter(batch)
             fraction = policy.pim_fraction(now_ns * 1e-9)
             demand = self.cache.demand(traffic, fraction)
-
-            # 32 B-aligned addresses: the vault interleave granularity is
-            # 32 B, so coarser strides would alias onto a subset of vaults.
-            span = max(4096, batch.threads * 64)
-            reads = self._addresses(rng, demand.reads, STREAM_REGION,
-                                    64 << 20, 32)
-            writes = self._addresses(rng, demand.writes, STREAM_REGION + (1 << 30),
-                                     64 << 20, 32)
-            hosts = self._addresses(rng, 2 * demand.host_atomics,
-                                    PROPERTY_REGION, span, 32)
-            pims = self._addresses(rng, demand.total_pim, PROPERTY_REGION,
-                                   span, 16)
-
-            stream: List[Tuple[PacketType, int]] = (
-                [(PacketType.READ64, int(a)) for a in reads]
-                + [(PacketType.WRITE64, int(a)) for a in writes]
-                # host atomic = read + write pair
-                + [(PacketType.READ64, int(a)) for a in hosts[::2]]
-                + [(PacketType.WRITE64, int(a)) for a in hosts[1::2]]
-                + [(PacketType.PIM, int(a)) for a in pims]
-            )
-            rng.shuffle(stream)  # avoid phase-locking with link striping
+            codes, addrs, is_host = self._epoch_stream(rng, demand, batch.threads)
+            batch_hist.add(float(codes.size))
 
             # Open-loop issue: the GPU's memory-level parallelism keeps the
             # links fed, so every transaction of the epoch is offered at
             # the epoch start and the cube's queues provide the backpressure.
+            # The stream is consumed in windows that end exactly at the
+            # thermal-update counter boundaries, so both engines couple to
+            # the thermal model at identical points.
             epoch_start = now_ns
             epoch_end = now_ns
-            for ptype, addr in stream:
+            pos = 0
+            # Thermal-exempt policies never feed back into the cube, so the
+            # whole epoch can go down in one batch; otherwise windows end
+            # at the thermal-update counter boundaries.
+            window = self.thermal_update_txns if not exempt else (1 << 62)
+            while pos < codes.size and txns < self.max_transactions:
                 if cube.is_shutdown:
                     break
-                if ptype is PacketType.PIM:
-                    inst = PimInstruction(PimOpcode.ADD_IMM, address=addr,
-                                          immediate=1)
-                    rsp = cube.submit(
-                        Request(ptype, address=addr, pim=inst), epoch_start
+                take = min(
+                    window - txns % window,
+                    codes.size - pos,
+                    self.max_transactions - txns,
+                )
+                sl = slice(pos, pos + take)
+                if batched:
+                    # Only host-atomic writes carry (zero) payloads: they
+                    # must functionally clear property-region operands.
+                    # Streaming writes carry no modelled data.
+                    payloads: Optional[List[Optional[bytes]]] = None
+                    host_writes = is_host[sl] & (codes[sl] == _CODE_WRITE)
+                    if np.any(host_writes):
+                        payloads = [
+                            _ZERO_LINE if h else None
+                            for h in host_writes.tolist()
+                        ]
+                    rsp = cube.submit_batch_arrays(
+                        codes[sl], addrs[sl], epoch_start,
+                        pim_template=_PIM_TEMPLATE, payloads=payloads,
                     )
-                    pim_total += 1
-                elif ptype is PacketType.WRITE64:
-                    rsp = cube.submit(Request(ptype, address=addr), epoch_start,
-                                      payload=b"\0" * 64)
+                    latency_sum = seeded_fold(latency_sum, rsp.latency_ns)
+                    epoch_end = max(epoch_end, float(rsp.complete_time_ns.max()))
                 else:
-                    rsp = cube.submit(Request(ptype, address=addr), epoch_start)
-                latency_sum += rsp.latency_ns
-                epoch_end = max(epoch_end, rsp.complete_time_ns)
-                txns += 1
+                    for c, a, h in zip(codes[sl].tolist(), addrs[sl].tolist(),
+                                       is_host[sl].tolist()):
+                        ptype = PTYPES_BY_CODE[c]
+                        if c == _CODE_PIM:
+                            inst = PimInstruction(PimOpcode.ADD_IMM, address=a,
+                                                  immediate=1)
+                            rsp1 = cube.submit(
+                                Request(ptype, address=a, pim=inst), epoch_start
+                            )
+                        elif c == _CODE_WRITE:
+                            rsp1 = cube.submit(
+                                Request(ptype, address=a), epoch_start,
+                                payload=_ZERO_LINE if h else None,
+                            )
+                        else:
+                            rsp1 = cube.submit(Request(ptype, address=a),
+                                               epoch_start)
+                        latency_sum += rsp1.latency_ns
+                        epoch_end = max(epoch_end, rsp1.complete_time_ns)
+                pim_total += int(np.count_nonzero(codes[sl] == _CODE_PIM))
+                host_members += int(np.count_nonzero(is_host[sl]))
+                txns += take
+                pos += take
                 if txns % self.thermal_update_txns == 0:
                     thermal_update(epoch_end)
-                if txns >= self.max_transactions:
-                    break
             now_ns = max(now_ns, epoch_end)
-            host_total += demand.host_atomics
             if cube.is_shutdown:
                 break
 
@@ -221,10 +312,16 @@ class DetailedSimulator:
             runtime_s=now_ns * 1e-9,
             transactions=txns,
             pim_ops=pim_total,
-            host_atomics=host_total,
+            # Count whole pairs actually submitted: a cap or shutdown can
+            # truncate mid-epoch, so the offered demand overstates them.
+            host_atomics=host_members // 2,
             peak_dram_temp_c=peak_temp,
             thermal_warnings=warnings,
             mean_latency_ns=latency_sum / txns if txns else 0.0,
             link_flits=cube.links.total_flits(),
+            engine=self.engine,
+            ext_bandwidth_gbs=(
+                cube.links.total_flits() * FLIT_BYTES / now_ns if now_ns > 0 else 0.0
+            ),
             thermal_trace=thermal_trace,
         )

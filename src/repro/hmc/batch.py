@@ -1,0 +1,621 @@
+"""Batched struct-of-arrays transaction engine for the event-level cube.
+
+The scalar path (:meth:`repro.hmc.cube.HmcCube.submit`) runs one Python
+method chain per transaction, which caps the detailed co-simulation at
+~10⁵ transactions. This engine timestamps an entire stream of requests at
+once: every cube resource is a serial FIFO (``start = max(arrival,
+ready)`` + duration), so a batch issued in stream order reduces to
+
+1. decoding all addresses at once (:meth:`AddressMap.decode_batch`),
+2. grouping requests by resource (link lane, crossbar vault port,
+   DRAM bank) with stable sorts, and
+3. running the exact segmented FIFO scans of :mod:`repro.hmc.scan`
+   per group, with refresh windows injected per bank arithmetically
+   (a refresh-free vectorized pass, split at the first access whose
+   start time crosses the bank's next tREFI boundary, then the bank's
+   own refresh catch-up code runs and the remainder is re-scanned).
+
+The result is *bit-identical* to submitting the same requests one at a
+time at the same ``now``: completion times, latencies, ERRSTAT, tags,
+every stats counter and float accumulator, the FLIT ledgers, and the
+backing-store contents all match the scalar oracle exactly (pinned by
+``tests/hmc/test_batch.py``). Functional PIM semantics are preserved
+either through a vectorized fast path (uniform integer ``ADD_IMM``
+streams fold per-address immediate sums before one read-modify-write per
+unique address — exact because two's-complement wrapping addition is
+associative) or through an ordered per-op fallback for mixed opcode
+streams.
+
+Throughput is guarded by ``benchmarks/test_detailed_bench.py`` (≥10×
+the scalar path at ≥10⁵ transactions).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hmc.bank import ROW_BYTES, DramBank
+from repro.hmc.isa import OPCODE_INFO, PimInstruction, PimOpcode
+from repro.hmc.packet import (
+    ERRSTAT_OK,
+    ERRSTAT_THERMAL_WARNING,
+    PTYPE_CODES,
+    PacketType,
+    Request,
+)
+from repro.hmc.pim_unit import PimUnit
+from repro.hmc.scan import segment_slices, serial_fifo
+
+if TYPE_CHECKING:
+    from repro.hmc.cube import HmcCube
+
+#: Dense packet-type codes (module-level for hot-path lookups).
+CODE_READ64 = PTYPE_CODES[PacketType.READ64]
+CODE_WRITE64 = PTYPE_CODES[PacketType.WRITE64]
+CODE_PIM = PTYPE_CODES[PacketType.PIM]
+CODE_PIM_RET = PTYPE_CODES[PacketType.PIM_RET]
+
+#: Opcodes whose functional effect can be folded per address (wrapping
+#: integer addition is associative and commutative).
+_FOLDABLE_OPCODES = (PimOpcode.ADD_IMM, PimOpcode.ADD_IMM_RET)
+
+
+@dataclass
+class BatchResponse:
+    """Struct-of-arrays responses for one batch, in stream order.
+
+    Mirrors the per-request :class:`~repro.hmc.packet.Response` fields
+    that are meaningful in bulk; data payloads are not materialized
+    (use the scalar path when response data matters).
+    """
+
+    tags: np.ndarray              # int64 — device-assigned, unique
+    complete_time_ns: np.ndarray  # float64 — arrival back at the host
+    latency_ns: np.ndarray        # float64 — complete - issue
+    errstat: np.ndarray           # int16 — ERRSTAT[6:0] per response
+    atomic_flag: np.ndarray       # bool — conditional-atomic success
+
+    def __len__(self) -> int:
+        return int(self.tags.shape[0])
+
+    @property
+    def thermal_warnings(self) -> int:
+        return int(np.count_nonzero(self.errstat == ERRSTAT_THERMAL_WARNING))
+
+
+class BatchEngine:
+    """Vectorized transaction engine bound to one :class:`HmcCube`."""
+
+    def __init__(self, cube: "HmcCube") -> None:
+        self.cube = cube
+
+    # -- public entry ----------------------------------------------------------
+
+    def submit(
+        self,
+        codes: np.ndarray,
+        addresses: np.ndarray,
+        now: float,
+        *,
+        pim_template: Optional[PimInstruction] = None,
+        pim_insts: Optional[Sequence[PimInstruction]] = None,
+        payloads: Optional[Sequence[Optional[bytes]]] = None,
+    ) -> BatchResponse:
+        """Timestamp and execute a stream of requests issued at ``now``.
+
+        Parameters
+        ----------
+        codes, addresses:
+            Parallel arrays (stream order): packet-type codes from
+            :data:`repro.hmc.packet.PTYPE_CODES` and byte addresses.
+        pim_template:
+            A shared :class:`PimInstruction` applied at each PIM
+            element's address (its own ``address`` is ignored); the
+            cheap way to issue uniform atomic streams.
+        pim_insts:
+            Per-op instructions for the PIM elements, aligned with
+            their order of appearance in the stream. Mutually exclusive
+            with ``pim_template``.
+        payloads:
+            Optional per-request write payloads (64 B for WRITE64
+            entries, ``None`` elsewhere), aligned with the full stream.
+
+        Unlike the scalar path, validation is all-or-nothing: any bad
+        address or payload raises before device state changes.
+        """
+        cube = self.cube
+        if cube.is_shutdown:
+            raise RuntimeError("HMC is shut down (overheated); call recover() first")
+        codes = np.ascontiguousarray(codes, dtype=np.int64)
+        addresses = np.ascontiguousarray(addresses, dtype=np.int64)
+        if codes.shape != addresses.shape or codes.ndim != 1:
+            raise ValueError("codes and addresses must be parallel 1-D arrays")
+        n = codes.shape[0]
+
+        is_pim = (codes == CODE_PIM) | (codes == CODE_PIM_RET)
+        pim_idx = np.flatnonzero(is_pim)
+        if pim_idx.size:
+            if not cube.config.supports_pim:
+                raise ValueError(f"{cube.config.name} does not support PIM")
+            if (pim_template is None) == (pim_insts is None):
+                raise ValueError(
+                    "PIM requests need exactly one of pim_template / pim_insts"
+                )
+            if pim_insts is not None and len(pim_insts) != pim_idx.size:
+                raise ValueError(
+                    f"{pim_idx.size} PIM requests but {len(pim_insts)} instructions"
+                )
+        if payloads is not None:
+            if len(payloads) != n:
+                raise ValueError(f"{n} requests but {len(payloads)} payloads")
+            for i, payload in enumerate(payloads):
+                if payload is None:
+                    continue
+                if codes[i] != CODE_WRITE64:
+                    raise ValueError(f"payload at index {i} on a non-WRITE64 request")
+                if len(payload) != 64:
+                    raise ValueError(
+                        f"WRITE64 payload must be 64 B, got {len(payload)}"
+                    )
+
+        # Decode first: bad addresses abort before any state changes.
+        vault_ids, bank_ids, local_addrs = cube.addr_map.decode_batch(addresses)
+
+        tags = np.arange(cube._next_tag, cube._next_tag + n, dtype=np.int64)
+        cube._next_tag += n
+
+        at_cube = self._stage_links_request(codes, n, now)
+        at_vault = self._stage_crossbar(codes, vault_ids, at_cube)
+        fu_lat = self._fu_latencies(n, pim_idx, pim_template, pim_insts)
+        bank_done = self._stage_banks(
+            codes, vault_ids, bank_ids, local_addrs, at_vault, fu_lat, is_pim
+        )
+        at_host = self._stage_links_response(codes, bank_done)
+
+        atomic_flag = np.ones(n, dtype=bool)
+        self._apply_functional(
+            codes, addresses, vault_ids, pim_idx,
+            pim_template, pim_insts, payloads, atomic_flag,
+        )
+
+        warning = cube.thermal_warning
+        errstat_val = ERRSTAT_THERMAL_WARNING if warning else ERRSTAT_OK
+        errstat = np.full(n, errstat_val, dtype=np.int16)
+
+        self._record_vault_stats(codes, vault_ids, is_pim)
+        cube.stats.transactions += n
+        cube.stats.pim_ops += int(pim_idx.size)
+        if warning:
+            cube.stats.thermal_warnings_sent += n
+
+        return BatchResponse(
+            tags=tags,
+            complete_time_ns=at_host,
+            latency_ns=at_host - now,
+            errstat=errstat,
+            atomic_flag=atomic_flag,
+        )
+
+    def submit_requests(
+        self,
+        requests: Sequence[Request],
+        now: float,
+        payloads: Optional[Sequence[Optional[bytes]]] = None,
+    ) -> BatchResponse:
+        """Convenience wrapper converting :class:`Request` objects to the
+        struct-of-arrays form (the compatibility path; hot callers should
+        build arrays directly)."""
+        n = len(requests)
+        codes = np.fromiter(
+            (PTYPE_CODES[r.ptype] for r in requests), dtype=np.int64, count=n
+        )
+        addresses = np.fromiter(
+            (r.address for r in requests), dtype=np.int64, count=n
+        )
+        pim_insts: List[PimInstruction] = [
+            r.pim for r in requests if r.pim is not None
+        ]
+        return self.submit(
+            codes, addresses, now,
+            pim_insts=pim_insts if pim_insts else None,
+            payloads=payloads,
+        )
+
+    # -- pipeline stages -------------------------------------------------------
+
+    def _stage_links_request(
+        self, codes: np.ndarray, n: int, now: float
+    ) -> np.ndarray:
+        """Serialize all requests on their round-robin link lanes."""
+        cube = self.cube
+        self._link_ids = cube.links.assign_batch(n)
+        at_cube = np.empty(n)
+        for li, link in enumerate(cube.links.links):
+            idx = np.flatnonzero(self._link_ids == li)
+            if idx.size == 0:
+                continue
+            at_cube[idx] = link.send_request_batch(
+                codes[idx], np.full(idx.size, now)
+            )
+        return at_cube
+
+    def _stage_crossbar(
+        self, codes: np.ndarray, vault_ids: np.ndarray, at_cube: np.ndarray
+    ) -> np.ndarray:
+        """Serialize on each vault's crossbar ingress port."""
+        cube = self.cube
+        order = np.argsort(vault_ids, kind="stable")
+        keys, offsets = segment_slices(vault_ids[order])
+        # Sort once so per-vault segments are contiguous views instead of
+        # per-segment fancy-index copies.
+        codes_o = codes[order]
+        at_cube_o = at_cube[order]
+        at_vault_o = np.empty(at_cube.shape[0])
+        for k, vault_id in enumerate(keys.tolist()):
+            lo, hi = int(offsets[k]), int(offsets[k + 1])
+            at_vault_o[lo:hi] = cube.crossbar.forward_to_vault_batch(
+                int(vault_id), codes_o[lo:hi], at_cube_o[lo:hi]
+            )
+        at_vault = np.empty(at_cube.shape[0])
+        at_vault[order] = at_vault_o
+        return at_vault
+
+    def _fu_latencies(
+        self,
+        n: int,
+        pim_idx: np.ndarray,
+        pim_template: Optional[PimInstruction],
+        pim_insts: Optional[Sequence[PimInstruction]],
+    ) -> np.ndarray:
+        fu = np.zeros(n)
+        if pim_idx.size:
+            if pim_template is not None:
+                fu[pim_idx] = PimUnit.latency_ns_for(pim_template.op_class)
+            else:
+                fu[pim_idx] = np.fromiter(
+                    (PimUnit.latency_ns_for(i.op_class) for i in pim_insts),
+                    dtype=np.float64,
+                    count=pim_idx.size,
+                )
+        return fu
+
+    def _stage_banks(
+        self,
+        codes: np.ndarray,
+        vault_ids: np.ndarray,
+        bank_ids: np.ndarray,
+        local_addrs: np.ndarray,
+        at_vault: np.ndarray,
+        fu_lat: np.ndarray,
+        is_pim: np.ndarray,
+    ) -> np.ndarray:
+        """Occupy DRAM banks: row-buffer timing, RMW locking, refresh."""
+        cube = self.cube
+        banks_per_vault = cube.config.banks_per_vault
+        global_bank = vault_ids * banks_per_vault + bank_ids
+        rows = local_addrs // ROW_BYTES
+        order = np.argsort(global_bank, kind="stable")
+        keys, offsets = segment_slices(global_bank[order])
+        # Sort every lane once so per-bank segments are contiguous views
+        # instead of per-segment fancy-index copies.
+        codes_o = codes[order]
+        rows_o = rows[order]
+        arr_o = at_vault[order]
+        fu_o = fu_lat[order]
+        pim_o = is_pim[order]
+        # Row-transition hits and cumulative stat counts, computed once
+        # globally: neither depends on per-bank latency state. Segment
+        # heads get a ``-1`` placeholder row (patched against the live
+        # open row inside :meth:`_service_bank`).
+        n = at_vault.shape[0]
+        prev_rows = np.empty(n, dtype=np.int64)
+        prev_rows[1:] = rows_o[:-1]
+        prev_rows[offsets[:-1]] = -1
+        hit_o = prev_rows == rows_o
+        cum_pim = np.cumsum(pim_o)
+        cum_read = np.cumsum(codes_o == CODE_READ64)
+        cum_write = np.cumsum(codes_o == CODE_WRITE64)
+        cum_hit = np.cumsum(hit_o)
+        done_o = np.empty(n)
+        for k, gb in enumerate(keys.tolist()):
+            lo, hi = int(offsets[k]), int(offsets[k + 1])
+            bank = cube.vaults[gb // banks_per_vault].banks[gb % banks_per_vault]
+            done_o[lo:hi] = self._service_bank(
+                bank, codes_o[lo:hi], rows_o[lo:hi], arr_o[lo:hi],
+                fu_o[lo:hi], pim_o[lo:hi], hit_o[lo:hi],
+                cum_pim[lo:hi], cum_read[lo:hi], cum_write[lo:hi],
+                cum_hit[lo:hi],
+            )
+        done = np.empty(n)
+        done[order] = done_o
+        return done
+
+    def _service_bank(
+        self,
+        bank: DramBank,
+        codes: np.ndarray,
+        rows: np.ndarray,
+        arrivals: np.ndarray,
+        fu_lat: np.ndarray,
+        is_pim: np.ndarray,
+        hit: np.ndarray,
+        cum_pim: np.ndarray,
+        cum_read: np.ndarray,
+        cum_write: np.ndarray,
+        cum_hit: np.ndarray,
+    ) -> np.ndarray:
+        """One bank's stream-ordered accesses, refresh-aware.
+
+        Vectorized refresh-free runs: durations follow from consecutive
+        row transitions (``hit`` and the inclusive ``cum_*`` counters
+        arrive precomputed from :meth:`_stage_banks`), start/finish
+        times from the exact FIFO scan. The run is cut at the first
+        access whose start time crosses the bank's next scheduled
+        refresh; the bank's own
+        :meth:`~repro.hmc.bank.DramBank.catch_up_refreshes` then drains
+        refreshes (closing the row, delaying ``ready_at``) exactly as the
+        scalar path does, and the remainder is re-scanned.
+        """
+        m = codes.shape[0]
+        out = np.empty(m)
+
+        # Durations under the no-refresh row-transition assumption,
+        # computed once for the whole segment; only each round's head
+        # element depends on live bank state and is patched in place.
+        # (freq_scale cannot change inside a batch, so the latency
+        # triple is stable.)
+        lat_hit, lat_miss, lat_closed = bank.scaled_latencies()
+        base = np.where(hit, lat_hit, lat_miss)
+        # PIM RMW: column read + FU op + write-back into the row the
+        # read just opened (same association as the scalar path).
+        durs = np.where(is_pim, (base + fu_lat) + lat_hit, base)
+
+        # The cum_* slices are inclusive scans over the *whole* batch;
+        # a window's count is two subtractions against the running
+        # committed total (seeded from the slice head), with a per-round
+        # correction on ``hit`` for the patched head element.
+        done_pim = int(cum_pim[0]) - int(is_pim[0])
+        done_read = int(cum_read[0]) - int(codes[0] == CODE_READ64)
+        done_write = int(cum_write[0]) - int(codes[0] == CODE_WRITE64)
+        done_hit = int(cum_hit[0]) - int(hit[0])
+
+        i = 0
+        while i < m:
+            if bank.open_row is None:
+                b0, h0 = lat_closed, False
+            elif bank.open_row == int(rows[i]):
+                b0, h0 = lat_hit, True
+            else:
+                b0, h0 = lat_miss, False
+            hit_adj = int(h0) - int(hit[i])
+            durs[i] = (b0 + fu_lat[i]) + lat_hit if is_pim[i] else b0
+
+            # Bounded window: refresh cuts make any computation past the
+            # cut wasted work. Arrivals are nondecreasing (they are FIFO
+            # finishes of the crossbar port), so everything at/after
+            # ``searchsorted(arrivals, next_refresh)`` is guaranteed to
+            # start inside the refresh and would be recomputed anyway;
+            # queueing can only move the cut *earlier*, which the
+            # start-time cut below catches.
+            next_refresh = bank._next_refresh_ns
+            j = int(arrivals.searchsorted(next_refresh))
+            j = min(m, max(j, i + 1), i + 512)
+            starts, finishes = serial_fifo(
+                arrivals[i:j], durs[i:j], bank.ready_at
+            )
+
+            # Starts are nondecreasing too, so the first start at/inside
+            # the refresh is a binary search, not a scan.
+            limit = int(starts.searchsorted(next_refresh))
+            if limit:
+                sl = slice(i, i + limit)
+                end = i + limit - 1
+                pims = int(cum_pim[end]) - done_pim
+                done_pim += pims
+                reads = int(cum_read[end]) - done_read
+                done_read += reads
+                writes = int(cum_write[end]) - done_write
+                done_write += writes
+                hits = int(cum_hit[end]) - done_hit + hit_adj
+                done_hit = int(cum_hit[end])
+                bank.commit_batch(
+                    durs[sl],
+                    reads=reads,
+                    writes=writes,
+                    pim_ops=pims,
+                    # Every PIM write-back is an extra row hit.
+                    row_hits=hits + pims,
+                    row_misses=limit - hits,
+                    last_row=int(rows[i + limit - 1]),
+                    ready_at=float(finishes[limit - 1]),
+                )
+                out[sl] = finishes[:limit]
+                i += limit
+            else:
+                # A refresh is due before the next access starts: drain
+                # it (and any cascade) through the scalar refresh code.
+                bank.catch_up_refreshes(float(arrivals[i]))
+        return out
+
+    def _stage_links_response(
+        self, codes: np.ndarray, bank_done: np.ndarray
+    ) -> np.ndarray:
+        """Crossbar traversal back plus response-lane serialization."""
+        cube = self.cube
+        back_at_switch = bank_done + cube.crossbar.traversal_ns
+        at_host = np.empty(bank_done.shape[0])
+        for li, link in enumerate(cube.links.links):
+            idx = np.flatnonzero(self._link_ids == li)
+            if idx.size == 0:
+                continue
+            at_host[idx] = link.send_response_batch(codes[idx], back_at_switch[idx])
+        return at_host
+
+    def _record_vault_stats(
+        self, codes: np.ndarray, vault_ids: np.ndarray, is_pim: np.ndarray
+    ) -> None:
+        cube = self.cube
+        nv = cube.config.num_vaults
+        reads = np.bincount(vault_ids[codes == CODE_READ64], minlength=nv)
+        writes = np.bincount(vault_ids[codes == CODE_WRITE64], minlength=nv)
+        pims = np.bincount(vault_ids[is_pim], minlength=nv)
+        for v, vault in enumerate(cube.vaults):
+            r, w, p = int(reads[v]), int(writes[v]), int(pims[v])
+            if r or w or p:
+                vault.record_batch(r, w, p)
+
+    # -- functional semantics --------------------------------------------------
+
+    def _apply_functional(
+        self,
+        codes: np.ndarray,
+        addresses: np.ndarray,
+        vault_ids: np.ndarray,
+        pim_idx: np.ndarray,
+        pim_template: Optional[PimInstruction],
+        pim_insts: Optional[Sequence[PimInstruction]],
+        payloads: Optional[Sequence[Optional[bytes]]],
+        atomic_flag: np.ndarray,
+    ) -> None:
+        """Apply write payloads and PIM read-modify-writes to the store.
+
+        Tries the vectorized fold for uniform integer-add streams; falls
+        back to a strict stream-order per-op loop whenever ordering could
+        matter (mixed opcodes, conditional atomics, overlapping writes).
+        """
+        cube = self.cube
+        write_idx = np.empty(0, dtype=np.int64)
+        if payloads is not None:
+            write_idx = np.flatnonzero(
+                [payloads[i] is not None for i in range(len(payloads))]
+            )
+
+        if pim_idx.size and self._fast_pim_applicable(
+            addresses, pim_idx, write_idx, pim_template, pim_insts
+        ):
+            self._apply_writes(addresses, write_idx, payloads)
+            self._apply_pim_fold(addresses, vault_ids, pim_idx, pim_template)
+            return
+
+        # Ordered fallback: functional effects in exact stream order.
+        self._apply_mixed_ordered(
+            addresses, vault_ids, pim_idx,
+            pim_template, pim_insts, payloads, write_idx, atomic_flag,
+        )
+
+    def _fast_pim_applicable(
+        self,
+        addresses: np.ndarray,
+        pim_idx: np.ndarray,
+        write_idx: np.ndarray,
+        pim_template: Optional[PimInstruction],
+        pim_insts: Optional[Sequence[PimInstruction]],
+    ) -> bool:
+        # Only uniform template streams fold (per-op instruction lists may
+        # carry differing immediates; those take the ordered fallback).
+        if pim_template is None or pim_insts is not None:
+            return False
+        if pim_template.opcode not in _FOLDABLE_OPCODES:
+            return False
+        nb = pim_template.operand_bytes
+        if not isinstance(pim_template.immediate, (int, np.integer)):
+            return False
+        paddrs = addresses[pim_idx]
+        # Aligned operands are identical-or-disjoint, so per-address
+        # folding cannot straddle two live operands.
+        if int(np.count_nonzero(paddrs % nb)):
+            return False
+        if write_idx.size:
+            # Any write payload overlapping a PIM operand forces ordering.
+            uniq = np.unique(paddrs)
+            waddrs = addresses[write_idx]
+            lo = np.searchsorted(uniq, waddrs - (nb - 1))
+            hi = np.searchsorted(uniq, waddrs + 64)
+            if int(np.count_nonzero(hi > lo)):
+                return False
+        return True
+
+    def _apply_writes(
+        self,
+        addresses: np.ndarray,
+        write_idx: np.ndarray,
+        payloads: Optional[Sequence[Optional[bytes]]],
+    ) -> None:
+        if payloads is None:
+            return
+        store = self.cube.store
+        for i in write_idx.tolist():
+            store.write(int(addresses[i]), payloads[i])
+
+    def _apply_pim_fold(
+        self,
+        addresses: np.ndarray,
+        vault_ids: np.ndarray,
+        pim_idx: np.ndarray,
+        pim_template: Optional[PimInstruction],
+    ) -> None:
+        """Fold a uniform integer-add stream: one RMW per unique address.
+
+        Exact because wrapping (two's-complement) addition is associative
+        and commutative: ``wrap(wrap(old + i1) + i2) == wrap(old + i1 + i2)``.
+        """
+        cube = self.cube
+        template = pim_template
+        assert template is not None
+        nb = template.operand_bytes
+        imm = int(template.immediate)
+        opcode = template.opcode
+        paddrs = addresses[pim_idx]
+        uniq, counts = np.unique(paddrs, return_counts=True)
+        if -(1 << 31) <= imm <= (1 << 31) - 1:
+            # |imm * count| < 2**62: the fold fits int64, so the deltas
+            # can stay in numpy end to end.
+            cube.store.bulk_int_add(uniq, np.int64(imm) * counts, nb)
+        else:
+            cube.store.bulk_int_add(
+                uniq.tolist(), [imm * c for c in counts.tolist()], nb
+            )
+        has_return = OPCODE_INFO[opcode][1]
+        per_vault = np.bincount(
+            vault_ids[pim_idx], minlength=cube.config.num_vaults
+        )
+        for v, ops in enumerate(per_vault.tolist()):
+            if ops:
+                cube.vaults[v].pim_unit.record_batch(
+                    ops, ops_with_return=ops if has_return else 0, failed=0
+                )
+
+    def _apply_mixed_ordered(
+        self,
+        addresses: np.ndarray,
+        vault_ids: np.ndarray,
+        pim_idx: np.ndarray,
+        pim_template: Optional[PimInstruction],
+        pim_insts: Optional[Sequence[PimInstruction]],
+        payloads: Optional[Sequence[Optional[bytes]]],
+        write_idx: np.ndarray,
+        atomic_flag: np.ndarray,
+    ) -> None:
+        cube = self.cube
+        store = cube.store
+        pim_rank = {int(i): r for r, i in enumerate(pim_idx.tolist())}
+        write_set = set(write_idx.tolist())
+        func_order = np.union1d(pim_idx, write_idx)
+        for i in func_order.tolist():
+            i = int(i)
+            if i in write_set:
+                store.write(int(addresses[i]), payloads[i])  # type: ignore[index]
+                continue
+            if pim_template is not None:
+                inst = dataclasses.replace(
+                    pim_template, address=int(addresses[i])
+                )
+            else:
+                inst = pim_insts[pim_rank[i]]  # type: ignore[index]
+            unit = cube.vaults[int(vault_ids[i])].pim_unit
+            _, flag = unit.execute(inst, store)
+            atomic_flag[i] = flag

@@ -1,0 +1,263 @@
+"""Exact vectorized scans for serial-FIFO resources.
+
+Every timed resource in the event-level cube — link request/response
+lanes, crossbar vault ports, DRAM banks — is a *serial FIFO*: a request
+arriving at time ``a`` starts at ``max(a, ready)`` and occupies the
+resource for a duration ``d``, leaving ``ready`` at its finish time.
+The batched engine (:mod:`repro.hmc.batch`) therefore reduces to running
+this recurrence over whole arrays at once:
+
+    finish[i] = max(arrivals[i], finish[i-1]) + durations[i]
+
+The catch is *bit-exactness*: the batched engine is pinned to the scalar
+oracle by equivalence tests that compare floating-point completion times
+with ``==``, so the scan must reproduce the scalar loop's operation
+order, not merely its algebra. A prefix-sum reformulation
+(``cumsum(d) + running_max(arr - cumsum_prev(d))``) is algebraically
+equal but reassociates the additions, drifting by ulps. Instead we
+exploit two facts:
+
+1. ``np.cumsum`` on float64 is a strict sequential left fold, so a
+   cumulative sum whose first element is seeded with ``start + d[0]``
+   reproduces the scalar chain ``((start + d0) + d1) + ...`` bitwise.
+2. The recurrence only deviates from a pure cumulative sum at *reset
+   points* — arrivals that find the queue idle (``arr[i] > finish[i-1]``)
+   and restart the chain at ``arr[i]``.
+
+So the solver computes an approximate prefix-scan first (reassociated,
+cheap, vectorized) purely to *guess* the reset points, then replays the
+recurrence as one exact seeded ``cumsum`` per busy run, verifying each
+guess against the exact values and splitting where the approximation was
+wrong. Guessed resets that turn out false are harmless (cutting a
+cumsum at a chained element reproduces the same floats because the seed
+is the exact previous finish); missed resets are detected and fixed.
+Long stretches of idle singleton runs (every arrival finds the queue
+empty) are committed in one vectorized step as ``arr + d``.
+
+:func:`seeded_fold` applies the same trick to statistics accumulators
+(``busy_ns += d`` per event must fold in event order to match the scalar
+path bitwise).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def seeded_fold(seed: float, values: np.ndarray) -> float:
+    """Exact sequential left fold: ``((seed + v0) + v1) + ...``.
+
+    Bit-identical to a Python ``for v in values: seed += v`` loop.
+    """
+    if values.size == 0:
+        return seed
+    if values.size <= 64:
+        acc = float(seed)
+        for v in values.tolist():
+            acc += v
+        return acc
+    block = np.array(values, dtype=np.float64, copy=True)
+    block[0] = seed + block[0]
+    return float(np.cumsum(block)[-1])
+
+
+def _python_fifo(
+    arrivals: np.ndarray, durations: np.ndarray, ready: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Direct Python evaluation of the recurrence (exact by definition)."""
+    prev = float(ready)
+    starts_l = arrivals.tolist()
+    fin_l = durations.tolist()
+    for i, d in enumerate(fin_l):
+        a = starts_l[i]
+        start = a if a > prev else prev
+        starts_l[i] = start
+        prev = start + d
+        fin_l[i] = prev
+    return np.array(starts_l), np.array(fin_l)
+
+
+def _run_matrix(
+    arrivals: np.ndarray,
+    durations: np.ndarray,
+    ready: float,
+    bounds: np.ndarray,
+    n: int,
+):
+    """Evaluate many short runs at once via a padded 2-D cumsum.
+
+    Each candidate run becomes one row of a ``(runs, max_len)`` matrix;
+    ``np.cumsum(axis=1)`` folds every row sequentially (the same op
+    order as the scalar chain, so bit-exact), with rows seeded at their
+    run-head arrival. The result is only valid if every candidate
+    boundary is a true reset and no reset was missed inside a row —
+    both are verified against the computed finishes, and ``None`` is
+    returned on any violation (caller falls back to the exact
+    run-by-run path). Padding rides along as ``+0.0`` and is masked out.
+    """
+    lengths = np.diff(np.concatenate((bounds, [n])))
+    max_len = int(lengths.max())
+    runs = bounds.shape[0]
+    if runs * max_len > 8 * n:
+        return None  # too ragged: padding would dominate
+
+    pos = np.arange(max_len)
+    idx = bounds[:, None] + pos[None, :]
+    mask = pos[None, :] < lengths[:, None]
+    idx_c = np.where(mask, idx, 0)
+    block = np.where(mask, durations[idx_c], 0.0)
+    arr_m = np.where(mask, arrivals[idx_c], -np.inf)
+
+    seeds = arrivals[bounds].astype(np.float64)
+    a0 = float(arrivals[0])
+    seeds[0] = a0 if a0 > ready else ready
+    block[:, 0] = seeds + block[:, 0]
+    fin = np.cumsum(block, axis=1)
+
+    # Missed reset inside a row (arrival beats the previous finish)?
+    if np.any(arr_m[:, 1:] > fin[:, :-1]):
+        return None
+    # False boundary (run head arrives before the previous run drains)?
+    last_fin = fin[np.arange(runs), lengths - 1]
+    if np.any(seeds[1:] < last_fin[:-1]):
+        return None
+
+    sta = np.empty_like(fin)
+    sta[:, 0] = seeds
+    sta[:, 1:] = fin[:, :-1]
+    flat = idx[mask]
+    starts = np.empty(n)
+    finishes = np.empty(n)
+    starts[flat] = sta[mask]
+    finishes[flat] = fin[mask]
+    return starts, finishes
+
+
+def _approx_resets(arrivals: np.ndarray, durations: np.ndarray, ready: float) -> np.ndarray:
+    """Guess reset points via the reassociated prefix-scan formulation.
+
+    Returns a sorted array of candidate run-start indices (always
+    including 0). The guesses only steer where the exact pass cuts its
+    cumulative sums; correctness never depends on them.
+    """
+    dc = np.cumsum(durations)
+    adj = arrivals - (dc - durations)
+    adj0 = arrivals[0] if arrivals[0] > ready else ready
+    if adj.shape[0]:
+        adj = adj.copy()
+        adj[0] = adj0
+    approx_finish = np.maximum.accumulate(adj) + dc
+    starts = np.flatnonzero(arrivals[1:] > approx_finish[:-1]) + 1
+    return np.concatenate(([0], starts))
+
+
+def serial_fifo(
+    arrivals: np.ndarray, durations: np.ndarray, ready: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Run the serial-FIFO recurrence exactly over a whole segment.
+
+    Parameters
+    ----------
+    arrivals:
+        Arrival times in service (stream) order.
+    durations:
+        Occupancy durations, same length.
+    ready:
+        The resource's ready time before the first arrival.
+
+    Returns
+    -------
+    (starts, finishes):
+        ``starts[i] = max(arrivals[i], finish[i-1])`` and
+        ``finishes[i] = starts[i] + durations[i]``, bit-identical to the
+        scalar loop evaluating those expressions sequentially.
+    """
+    n = arrivals.shape[0]
+    if n == 0:
+        return np.empty(0), np.empty(0)
+
+    if n <= 256:
+        # Short segments: the fixed cost of the vectorized machinery
+        # (~10 numpy ops plus the reset-guessing pass) exceeds a direct
+        # evaluation of the recurrence until roughly n ≈ 400 (same float
+        # ops either way, so still bit-identical to the scalar oracle).
+        return _python_fifo(arrivals, durations, ready)
+
+    starts = np.empty(n, dtype=np.float64)
+    finishes = np.empty(n, dtype=np.float64)
+
+    bounds = _approx_resets(arrivals, durations, ready)
+    if n < 12 * bounds.shape[0]:
+        # Mean busy-run length under ~12: the per-run fixed costs of the
+        # generic loop below would dominate, so batch all runs through
+        # one padded 2-D cumsum (or replay in Python if the candidate
+        # boundaries fail verification — the bound guesses only ever
+        # steer strategy, never correctness).
+        res = _run_matrix(arrivals, durations, float(ready), bounds, n)
+        if res is not None:
+            return res
+        return _python_fifo(arrivals, durations, ready)
+    # Append sentinel so bounds[bi] is always the next candidate cut.
+    bounds = np.concatenate((bounds, [n]))
+
+    prev = float(ready)
+    i = 0
+    bi = 1  # bounds[0] == 0 == i
+    while i < n:
+        while bounds[bi] <= i:
+            bi += 1
+        j = int(bounds[bi])
+
+        if j == i + 1:
+            # Coalesce a stretch of consecutive singleton candidate runs
+            # (idle queue: every arrival restarts the chain) into one
+            # vectorized commit of arr + d, verified exactly.
+            k = bi
+            while k + 1 < bounds.shape[0] and bounds[k + 1] == bounds[k] + 1:
+                k += 1
+            span_end = int(bounds[k])
+            cand = arrivals[i:span_end] + durations[i:span_end]
+            chained = np.flatnonzero(arrivals[i + 1 : span_end] <= cand[:-1])
+            first_arr = arrivals[i]
+            if first_arr > prev:
+                limit = span_end if chained.size == 0 else i + 1 + int(chained[0])
+                starts[i:limit] = arrivals[i:limit]
+                finishes[i:limit] = cand[: limit - i]
+                prev = float(finishes[limit - 1])
+                i = limit
+                continue
+            # First element is actually chained onto ``prev``; fall
+            # through to the generic run handling below with j = i + 1.
+
+        # Exact seeded cumsum over [i, j), split at any missed reset.
+        a0 = float(arrivals[i])
+        start0 = a0 if a0 > prev else prev
+        block = np.array(durations[i:j], dtype=np.float64, copy=True)
+        block[0] = start0 + block[0]
+        np.cumsum(block, out=block)
+        viol = np.flatnonzero(arrivals[i + 1 : j] > block[:-1])
+        limit = j if viol.size == 0 else i + 1 + int(viol[0])
+        finishes[i:limit] = block[: limit - i]
+        starts[i] = start0
+        starts[i + 1 : limit] = block[: limit - i - 1]
+        prev = float(finishes[limit - 1])
+        i = limit
+
+    return starts, finishes
+
+
+def segment_slices(sorted_keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Segment boundaries of a sorted key array.
+
+    Returns ``(unique_keys, offsets)`` where segment ``k`` spans
+    ``[offsets[k], offsets[k + 1])``; ``offsets`` has one trailing
+    entry equal to ``len(sorted_keys)``.
+    """
+    n = sorted_keys.shape[0]
+    if n == 0:
+        return sorted_keys[:0], np.zeros(1, dtype=np.int64)
+    change = np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1
+    offsets = np.concatenate(([0], change, [n]))
+    return sorted_keys[offsets[:-1]], offsets

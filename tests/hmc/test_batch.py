@@ -1,0 +1,329 @@
+"""Batched transaction engine vs the scalar oracle.
+
+The batched engine's contract is *bit-exactness*: timestamping a stream
+with :meth:`HmcCube.submit_batch` must leave the device — response
+times, stats accumulators (including float folds), ledgers, bank/port
+state, backing-store pages, tag counter — exactly where the scalar
+:meth:`HmcCube.submit` loop would, for any stream. These tests check
+that property on seeded randomized streams engineered to hit the nasty
+regimes: same-bank RMW conflicts, row hits/misses, refresh crossings,
+mid-stream temperature-phase derating, both functional-apply paths
+(uniform-template fold and ordered per-instruction fallback).
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.hmc.config import HMC_2_0
+from repro.hmc.cube import HmcCube
+from repro.hmc.dram_timing import TemperaturePhase
+from repro.hmc.isa import PimInstruction, PimOpcode
+from repro.hmc.packet import PTYPE_CODES, PacketType, Request
+
+#: Stride that lands every access in the same (vault, bank) pair.
+SAME_BANK_STRIDE = (
+    HMC_2_0.dram_access_granularity_bytes
+    * HMC_2_0.num_vaults
+    * HMC_2_0.banks_per_vault
+)
+
+CODE_READ = PTYPE_CODES[PacketType.READ64]
+CODE_WRITE = PTYPE_CODES[PacketType.WRITE64]
+CODE_PIM = PTYPE_CODES[PacketType.PIM]
+
+
+def cube_state(cube):
+    """Snapshot every piece of device state the engines may touch."""
+    return {
+        "stats": dataclasses.asdict(cube.stats),
+        "next_tag": cube._next_tag,
+        "vaults": [dataclasses.asdict(v.stats) for v in cube.vaults],
+        "pim_units": [dataclasses.asdict(v.pim_unit.stats) for v in cube.vaults],
+        "banks": [
+            (b.open_row, b.ready_at, b._next_refresh_ns,
+             dataclasses.asdict(b.stats))
+            for v in cube.vaults
+            for b in v.banks
+        ],
+        "links": [
+            (lk.req_ready_at, lk.rsp_ready_at,
+             dataclasses.asdict(lk.stats), dataclasses.asdict(lk.ledger))
+            for lk in cube.links.links
+        ],
+        "xbar": (dict(cube.crossbar._port_ready),
+                 dict(cube.crossbar._port_busy_ns)),
+        "pages": {page: bytes(buf) for page, buf in cube.store._pages.items()},
+    }
+
+
+def random_stream(rng, n, *, pim_weight=0.35, payload_frac=0.4):
+    """Mixed stream with hotspot (same-bank, same-operand) pressure.
+
+    Returns parallel lists: codes, addresses, payloads. Addresses are
+    16 B aligned so uniform ADD_IMM streams qualify for the fold path;
+    hotspot picks guarantee same-bank serialization and repeated-operand
+    RMW folding.
+    """
+    codes = rng.choice(
+        [CODE_READ, CODE_WRITE, CODE_PIM],
+        size=n,
+        p=[(1 - pim_weight) / 2, (1 - pim_weight) / 2, pim_weight],
+    ).astype(np.int64)
+    # ~8 hot operands in one bank + a spread region across vaults.
+    hot = (rng.integers(0, 8, size=n) * SAME_BANK_STRIDE * 16).astype(np.int64)
+    spread = (rng.integers(0, 1 << 16, size=n) * 16).astype(np.int64)
+    addrs = np.where(rng.random(n) < 0.3, hot, spread)
+    payloads = [
+        bytes(rng.integers(0, 256, size=64, dtype=np.uint8))
+        if c == CODE_WRITE and rng.random() < payload_frac else None
+        for c in codes.tolist()
+    ]
+    return codes, addrs, payloads
+
+
+def scalar_replay(cube, codes, addrs, payloads, now, insts_by_pos=None,
+                  template=None):
+    """Drive the scalar oracle over the same stream; returns responses."""
+    responses = []
+    pim_rank = 0
+    for pos, (code, addr) in enumerate(zip(codes.tolist(), addrs.tolist())):
+        if code == CODE_PIM:
+            if insts_by_pos is not None:
+                inst = insts_by_pos[pim_rank]
+            else:
+                inst = dataclasses.replace(template, address=addr)
+            pim_rank += 1
+            req = Request(PacketType.PIM, address=addr, pim=inst)
+            rsp = cube.submit(req, now)
+        elif code == CODE_WRITE:
+            req = Request(PacketType.WRITE64, address=addr)
+            rsp = cube.submit(req, now, payload=payloads[pos])
+        else:
+            req = Request(PacketType.READ64, address=addr)
+            rsp = cube.submit(req, now)
+        responses.append(rsp)
+    return responses
+
+
+def assert_equivalent(scalar_cube, batched_cube, scalar_rsps, batch_rsps):
+    for name, batch in batch_rsps.items():
+        rsps = scalar_rsps[name]
+        assert [r.tag for r in rsps] == batch.tags.tolist(), name
+        assert [r.complete_time_ns for r in rsps] == \
+            batch.complete_time_ns.tolist(), name
+        assert [r.latency_ns for r in rsps] == batch.latency_ns.tolist(), name
+        assert [r.errstat for r in rsps] == batch.errstat.tolist(), name
+        assert [r.atomic_flag for r in rsps] == batch.atomic_flag.tolist(), name
+    assert cube_state(scalar_cube) == cube_state(batched_cube)
+
+
+class TestRandomizedEquivalence:
+    """Scalar loop and submit_batch must agree bit for bit."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 7, 19])
+    def test_template_stream(self, seed):
+        """Uniform ADD_IMM template: exercises the vectorized fold path."""
+        rng = np.random.default_rng(seed)
+        template = PimInstruction(PimOpcode.ADD_IMM, address=0, immediate=3)
+        scalar, batched = HmcCube(HMC_2_0), HmcCube(HMC_2_0)
+        scalar_rsps, batch_rsps = {}, {}
+        now = 0.0
+        # Several sequential batches: later batches land on warm row
+        # buffers, drained refreshes, and backed-up FIFOs, with a phase
+        # change (derated frequency + doubled refresh) mid-stream.
+        for batch_no, phase in enumerate(
+            [TemperaturePhase.NORMAL, TemperaturePhase.EXTENDED,
+             TemperaturePhase.CRITICAL]
+        ):
+            scalar.apply_temperature_phase(phase)
+            batched.apply_temperature_phase(phase)
+            codes, addrs, payloads = random_stream(rng, 400)
+            scalar_rsps[batch_no] = scalar_replay(
+                scalar, codes, addrs, payloads, now, template=template
+            )
+            batch_rsps[batch_no] = batched.submit_batch_arrays(
+                codes, addrs, now, pim_template=template, payloads=payloads
+            )
+            # Push the next batch past refresh boundaries.
+            now = max(r.complete_time_ns for r in scalar_rsps[batch_no]) + 500.0
+        assert_equivalent(scalar, batched, scalar_rsps, batch_rsps)
+        # The streams must actually have crossed refresh windows for
+        # this test to mean anything.
+        refreshes = sum(
+            b.stats.refreshes for v in batched.vaults for b in v.banks
+        )
+        assert refreshes > 0
+
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_per_instruction_stream(self, seed):
+        """Per-op instruction lists with mixed opcodes: ordered fallback."""
+        rng = np.random.default_rng(seed)
+        scalar, batched = HmcCube(HMC_2_0), HmcCube(HMC_2_0)
+        codes, addrs, payloads = random_stream(rng, 500)
+        pim_pos = np.flatnonzero(codes == CODE_PIM)
+        insts = []
+        for pos in pim_pos.tolist():
+            op = [PimOpcode.ADD_IMM, PimOpcode.ADD_IMM_RET,
+                  PimOpcode.CAS_GREATER][pos % 3]
+            insts.append(
+                PimInstruction(op, address=int(addrs[pos]),
+                               immediate=int(rng.integers(-50, 50)))
+            )
+        scalar_rsps = scalar_replay(
+            scalar, codes, addrs, payloads, 0.0, insts_by_pos=insts
+        )
+        batch = batched.submit_batch_arrays(
+            codes, addrs, 0.0, pim_insts=insts, payloads=payloads
+        )
+        assert_equivalent(scalar, batched, {0: scalar_rsps}, {0: batch})
+        # CMP_SWAP_GT on zeroed memory fails for non-positive immediates,
+        # so the atomic flag lane must carry real information.
+        assert not batch.atomic_flag.all()
+
+    def test_request_object_path(self):
+        """submit_batch(requests) converts and matches the scalar loop."""
+        rng = np.random.default_rng(5)
+        scalar, batched = HmcCube(HMC_2_0), HmcCube(HMC_2_0)
+        codes, addrs, payloads = random_stream(rng, 200)
+        requests = []
+        for pos, (code, addr) in enumerate(zip(codes.tolist(), addrs.tolist())):
+            if code == CODE_PIM:
+                requests.append(Request(
+                    PacketType.PIM, address=addr,
+                    pim=PimInstruction(PimOpcode.ADD_IMM, address=addr,
+                                       immediate=1),
+                ))
+            elif code == CODE_WRITE:
+                requests.append(Request(PacketType.WRITE64, address=addr))
+            else:
+                requests.append(Request(PacketType.READ64, address=addr))
+        insts = [r.pim for r in requests if r.pim is not None]
+        scalar_rsps = scalar_replay(
+            scalar, codes, addrs, payloads, 10.0, insts_by_pos=insts
+        )
+        batch = batched.submit_batch(requests, 10.0, payloads=payloads)
+        assert_equivalent(scalar, batched, {0: scalar_rsps}, {0: batch})
+
+
+class TestTags:
+    def test_tags_unique_and_shared_counter(self):
+        cube = HmcCube(HMC_2_0)
+        rsp = cube.submit(Request(PacketType.READ64, address=0), 0.0)
+        codes = np.full(64, CODE_READ, dtype=np.int64)
+        addrs = np.arange(64, dtype=np.int64) * 32
+        batch = cube.submit_batch_arrays(codes, addrs, 0.0)
+        rsp2 = cube.submit(Request(PacketType.READ64, address=64), 0.0)
+        tags = [rsp.tag, *batch.tags.tolist(), rsp2.tag]
+        assert tags == list(range(66))
+        assert len(set(tags)) == len(tags)
+        assert cube._next_tag == 66
+
+    def test_scalar_response_echoes_allocated_tag(self):
+        cube = HmcCube(HMC_2_0)
+        req = Request(PacketType.READ64, address=0, tag=12345)
+        rsp = cube.submit(req, 0.0)
+        assert req.tag == 0
+        assert rsp.tag == 0
+
+
+class TestValidationAndErrors:
+    def test_shutdown_raises_same_message(self):
+        scalar, batched = HmcCube(HMC_2_0), HmcCube(HMC_2_0)
+        scalar.shutdown()
+        batched.shutdown()
+        with pytest.raises(RuntimeError) as scalar_err:
+            scalar.submit(Request(PacketType.READ64, address=0), 0.0)
+        with pytest.raises(RuntimeError) as batch_err:
+            batched.submit_batch_arrays(
+                np.array([CODE_READ]), np.array([0]), 0.0
+            )
+        assert str(scalar_err.value) == str(batch_err.value)
+
+    def test_validation_is_all_or_nothing(self):
+        cube = HmcCube(HMC_2_0)
+        codes = np.array([CODE_READ, CODE_READ], dtype=np.int64)
+        bad_addrs = np.array([0, cube.config.capacity_bytes], dtype=np.int64)
+        before = cube_state(cube)
+        with pytest.raises(ValueError):
+            cube.submit_batch_arrays(codes, bad_addrs, 0.0)
+        assert cube_state(cube) == before
+
+    def test_pim_needs_exactly_one_instruction_source(self):
+        cube = HmcCube(HMC_2_0)
+        codes = np.array([CODE_PIM], dtype=np.int64)
+        addrs = np.array([0], dtype=np.int64)
+        template = PimInstruction(PimOpcode.ADD_IMM, address=0, immediate=1)
+        with pytest.raises(ValueError, match="exactly one"):
+            cube.submit_batch_arrays(codes, addrs, 0.0)
+        with pytest.raises(ValueError, match="exactly one"):
+            cube.submit_batch_arrays(
+                codes, addrs, 0.0,
+                pim_template=template, pim_insts=[template],
+            )
+
+    def test_payload_must_sit_on_a_write(self):
+        cube = HmcCube(HMC_2_0)
+        codes = np.array([CODE_READ], dtype=np.int64)
+        addrs = np.array([0], dtype=np.int64)
+        with pytest.raises(ValueError, match="non-WRITE64"):
+            cube.submit_batch_arrays(codes, addrs, 0.0, payloads=[b"\1" * 64])
+        with pytest.raises(ValueError, match="64 B"):
+            cube.submit_batch_arrays(
+                np.array([CODE_WRITE], dtype=np.int64), addrs, 0.0,
+                payloads=[b"\1" * 8],
+            )
+
+
+class TestThermalSignalling:
+    def test_warning_sets_errstat_and_counts(self):
+        scalar, batched = HmcCube(HMC_2_0), HmcCube(HMC_2_0)
+        scalar.set_thermal_warning(True)
+        batched.set_thermal_warning(True)
+        codes = np.full(8, CODE_READ, dtype=np.int64)
+        addrs = np.arange(8, dtype=np.int64) * 32
+        scalar_rsps = scalar_replay(scalar, codes, addrs, [None] * 8, 0.0)
+        batch = batched.submit_batch_arrays(codes, addrs, 0.0)
+        assert_equivalent(scalar, batched, {0: scalar_rsps}, {0: batch})
+        assert batch.thermal_warnings == 8
+        assert batched.stats.thermal_warnings_sent == 8
+
+
+class TestFunctionalSemantics:
+    def test_fold_matches_serial_rmw_with_wraparound(self):
+        """Repeated ADD_IMM on one operand near the int32 limit must wrap
+        exactly as chained scalar RMWs do."""
+        scalar, batched = HmcCube(HMC_2_0), HmcCube(HMC_2_0)
+        start = (2**31 - 5).to_bytes(4, "little", signed=False)
+        for cube in (scalar, batched):
+            cube.mem_write(0, start)
+        template = PimInstruction(
+            PimOpcode.ADD_IMM, address=0, immediate=3, operand_bytes=4
+        )
+        codes = np.full(10, CODE_PIM, dtype=np.int64)
+        addrs = np.zeros(10, dtype=np.int64)
+        scalar_replay(scalar, codes, addrs, [None] * 10, 0.0, template=template)
+        batched.submit_batch_arrays(codes, addrs, 0.0, pim_template=template)
+        assert scalar.mem_read(0, 4) == batched.mem_read(0, 4)
+        # 2**31 - 5 + 30 wrapped into negative territory.
+        val = int.from_bytes(batched.mem_read(0, 4), "little", signed=True)
+        assert val < 0
+
+    def test_write_payload_overlapping_pim_operand_stays_ordered(self):
+        """A WRITE64 payload covering a PIM operand forces the ordered
+        fallback; interleaved effects must match the scalar loop."""
+        scalar, batched = HmcCube(HMC_2_0), HmcCube(HMC_2_0)
+        template = PimInstruction(PimOpcode.ADD_IMM, address=0, immediate=1)
+        payload = bytes(range(64))
+        codes = np.array([CODE_PIM, CODE_WRITE, CODE_PIM], dtype=np.int64)
+        addrs = np.array([0, 0, 0], dtype=np.int64)
+        payloads = [None, payload, None]
+        scalar_rsps = scalar_replay(
+            scalar, codes, addrs, payloads, 0.0, template=template
+        )
+        batch = batched.submit_batch_arrays(
+            codes, addrs, 0.0, pim_template=template, payloads=payloads
+        )
+        assert_equivalent(scalar, batched, {0: scalar_rsps}, {0: batch})
+        assert batched.mem_read(0, 8)[:8] == scalar.mem_read(0, 8)
