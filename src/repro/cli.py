@@ -40,7 +40,10 @@ from repro.workloads.registry import get_workload, list_workloads
 
 
 def _build_system(args) -> CoolPimSystem:
-    return CoolPimSystem(cooling=COOLING_SOLUTIONS[args.cooling])
+    return CoolPimSystem(
+        cooling=COOLING_SOLUTIONS[args.cooling],
+        engine=getattr(args, "engine", "macro"),
+    )
 
 
 def _result_line(res) -> str:
@@ -339,6 +342,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--cooling", default="commodity",
                        choices=list(COOLING_SOLUTIONS))
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--engine", default="macro",
+                       choices=["macro", "stepped"],
+                       help="simulation engine (macro: vectorized burst "
+                            "fast path; stepped: scalar reference loop)")
 
     run_p = sub.add_parser("run", help="simulate one workload+policy")
     common(run_p)

@@ -49,12 +49,16 @@ class CoolPimSystem:
         ambient_c: float = 25.0,
         control_dt_s: float = 25e-6,
         phase_policy=None,
+        engine: str = "macro",
     ) -> None:
         self.gpu = gpu
         self.hmc = hmc
         self.cooling = cooling
         self.thermal = HmcThermalModel(hmc, cooling=cooling, ambient_c=ambient_c)
         self.control_dt_s = control_dt_s
+        #: Simulation engine: ``"macro"`` (vectorized burst fast path) or
+        #: ``"stepped"`` (the scalar reference loop).
+        self.engine = engine
         #: Overheat-management rules (None → the paper's three-phase
         #: derating; pass a conservative_shutdown policy for the Sec. III-C
         #: all-or-nothing prototype behaviour).
@@ -88,6 +92,7 @@ class CoolPimSystem:
             thermal=self.thermal,
             sensor=ThermalSensor(),
             control_dt_s=self.control_dt_s,
+            engine=self.engine,
         )
         tracer = get_tracer()
         t0 = _time.perf_counter()

@@ -131,6 +131,28 @@ class HwDynT(OffloadPolicy):
                 sim_time_ns=now_s * 1e9, clock="sim",
             )
 
+    # -- macro-engine horizon hints --------------------------------------------
+
+    def fraction_horizon(self, now_s: float) -> float:
+        """Next scheduled fraction change: the pending warp-count apply."""
+        if self._pending_apply_at is not None and now_s < self._pending_apply_at:
+            return self._pending_apply_at
+        return float("inf")
+
+    def warning_noop_until(self, now_s: float, temp_c: Optional[float] = None) -> float:
+        """Idempotency window for repeated warnings at a constant ``temp_c``.
+
+        The handler always stores ``temp_c`` as the settling baseline, so a
+        call is a no-op only once the baseline already equals ``temp_c``
+        exactly (then the settled branch is taken and nothing mutates until
+        Tthermal elapses). Any trend change — including the very first call
+        after a sensor sample moved the temperature — must go through the
+        real handler, so this returns ``now_s`` in that case.
+        """
+        if temp_c is None or self._last_temp_c is None or temp_c != self._last_temp_c:
+            return now_s
+        return self._last_update_s + self.delays.thermal_s
+
     @property
     def enabled_warps(self) -> int:
         return self._enabled_warps

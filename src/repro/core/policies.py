@@ -47,6 +47,31 @@ class OffloadPolicy:
     def record_fraction(self, now_s: float, fraction: float) -> None:
         self.fraction_history.append((now_s, fraction))
 
+    # -- macro-engine horizon hints ----------------------------------------
+
+    def fraction_horizon(self, now_s: float) -> float:
+        """Earliest future time ``pim_fraction`` could change absent new
+        warnings — "constant forever" for open-loop policies.
+
+        The macro-step engine uses this to size vectorized bursts: calls
+        to :meth:`pim_fraction` strictly before the horizon are guaranteed
+        pure (no state change, same return value). Feedback policies
+        override it with their next scheduled token/warp update.
+        """
+        return float("inf")
+
+    def warning_noop_until(self, now_s: float, temp_c: Optional[float] = None) -> float:
+        """Earliest time a repeated :meth:`on_thermal_warning` call with
+        this same ``temp_c`` could have any effect.
+
+        The base handler is a pure no-op, so warnings can be delivered in
+        bulk forever. Feedback policies return the end of their
+        rate-limit/settling window — or ``now_s`` itself when a call right
+        now would mutate state (the engine then falls back to a scalar
+        step so the warning fires at exactly the oracle instant).
+        """
+        return float("inf")
+
 
 class NonOffloading(OffloadPolicy):
     """Baseline: HMC as plain GPU memory, no PIM."""

@@ -116,6 +116,26 @@ class SwDynT(OffloadPolicy):
                 sim_time_ns=now_s * 1e9, clock="sim",
             )
 
+    # -- macro-engine horizon hints --------------------------------------------
+
+    def fraction_horizon(self, now_s: float) -> float:
+        """Next scheduled fraction change: the pending pool application."""
+        if self._pending_size is not None and now_s < self._pending_apply_at:
+            return self._pending_apply_at
+        return float("inf")
+
+    def warning_noop_until(self, now_s: float, temp_c=None) -> float:
+        """Warnings are pure no-ops inside the rate-limit window.
+
+        :meth:`on_thermal_warning` returns before touching any state while
+        ``now_s - _last_action_s < control_step_s`` (and SW-DynT ignores
+        ``temp_c`` entirely), so bulk delivery is safe until the window
+        closes.
+        """
+        if self.pool is None:
+            return float("inf")
+        return self._last_action_s + self.delays.control_step_s
+
     @property
     def ptp_size(self) -> int:
         return self.pool.size if self.pool is not None else 0

@@ -17,6 +17,7 @@ recovery stall (Sec. III-A).
 
 from __future__ import annotations
 
+import math
 import time as _time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional, Tuple
@@ -193,9 +194,14 @@ class SystemSimulator:
         warm_start: Optional[TrafficPoint] = None,
         saturation_threads: int = 1500,
         stats: Optional[StatRegistry] = None,
+        engine: str = "macro",
     ) -> None:
         if control_dt_s <= 0:
             raise ValueError(f"control quantum must be positive: {control_dt_s}")
+        if engine not in ("macro", "stepped"):
+            raise ValueError(
+                f"engine must be 'macro' or 'stepped', got {engine!r}"
+            )
         if saturation_threads <= 0:
             raise ValueError(
                 f"saturation_threads must be positive: {saturation_threads}"
@@ -222,24 +228,46 @@ class SystemSimulator:
         #: Per-simulator stat registry; each run() resets and refills the
         #: ``sim.*`` stats, so the last run's numbers are always current.
         self.stats = stats if stats is not None else StatRegistry()
+        #: Execution engine: ``"macro"`` (vectorized bursts between
+        #: horizon events, the default) or ``"stepped"`` (the scalar
+        #: reference loop, kept as the equivalence oracle).
+        self.engine = engine
 
     # -- helpers -----------------------------------------------------------------
 
-    def _mem_demand(self, state: _EpochState, pim_fraction: float) -> TrafficDemand:
+    def _mem_demand(
+        self, state: _EpochState, pim_fraction: float
+    ) -> Tuple[TrafficDemand, int]:
+        """Post-cache demand plus the rounded atomic count feeding it.
+
+        The atomic count is returned so the serving loop can keep an
+        exact pre-coalescing conservation ledger (assigned = PIM + host).
+        """
+        atomics = max(0, int(round(state.atomics)))
         traffic = MemoryTraffic(
             reads=max(0, int(round(state.reads))),
             writes=max(0, int(round(state.writes))),
-            atomics=max(0, int(round(state.atomics))),
+            atomics=atomics,
             atomics_with_return=min(
                 int(round(state.atomics_ret)), int(round(state.atomics))
             ),
         )
-        return self.cache.demand(traffic, pim_fraction)
+        return self.cache.demand(traffic, pim_fraction), atomics
 
     # -- main entry -----------------------------------------------------------------
 
     def run(self, launch: KernelLaunch, policy: "OffloadPolicy") -> SimulationResult:
         """Execute the launch under ``policy``; returns run aggregates."""
+        if self.engine == "macro":
+            from repro.gpu.macro import MacroEngine
+
+            return MacroEngine(self).run(launch, policy)
+        return self._run_stepped(launch, policy)
+
+    def _run_stepped(
+        self, launch: KernelLaunch, policy: "OffloadPolicy"
+    ) -> SimulationResult:
+        """Scalar reference engine: one control quantum per iteration."""
         launch.trace.rewind()
         self.sensor.reset()
         exempt = policy.thermal_exempt
@@ -266,6 +294,7 @@ class SystemSimulator:
         for name in (
             "epochs", "control_steps", "thermal_solver_steps",
             "thermal_warnings", "shutdowns", "pim_ops", "host_atomics",
+            "host_atomics_assigned",
         ):
             stats.counter(name).reset()
         epochs = 0
@@ -277,6 +306,7 @@ class SystemSimulator:
         data_bytes = 0
         pim_ops_total = 0
         host_atomics_total = 0
+        host_assigned_total = 0
         atomics_total = 0
         warnings = 0
         shutdowns = 0
@@ -297,16 +327,24 @@ class SystemSimulator:
             if batch is None:
                 break
             atomics_total += batch.atomics
-            state = _EpochState(batch, self.cache.filter(batch))
+            traffic = self.cache.filter(batch)
+            state = _EpochState(batch, traffic)
             epochs += 1
             epoch_t0 = _time.perf_counter() if traced else 0.0
             epoch_sim0 = now_s
+            # Integer work ledgers: the fluid drain rounds per step, so
+            # its serving sums can drift from the epoch totals; the final
+            # control step flushes whatever the ledgers still hold.
+            rem_reads = traffic.reads
+            rem_writes = traffic.writes
+            rem_atomics = traffic.atomics
 
-            while not state.drained:
+            while (not state.drained or rem_atomics > 0
+                   or rem_reads > 0 or rem_writes > 0):
                 fraction = policy.pim_fraction(now_s)
                 if fraction != frac_tw.value:
                     frac_tw.update(fraction, now_s)
-                demand = self._mem_demand(state, fraction)
+                demand, atomics_dem = self._mem_demand(state, fraction)
                 t_mem_ns = self.flow.service_time_ns(demand)
                 # Small frontiers can't keep enough requests in flight to
                 # saturate the memory system.
@@ -320,12 +358,48 @@ class SystemSimulator:
 
                 dt_ns = min(self.control_dt_s * 1e9, t_total_ns)
                 share = dt_ns / t_total_ns
+                final_step = share >= 1.0
+                served_reads = min(int(round(demand.reads * share)), rem_reads)
+                served_writes = min(int(round(demand.writes * share)), rem_writes)
+                served_host = int(round(demand.host_atomics * share))
+                served_pim = int(round(demand.pim_ops * share))
+                served_pim_ret = int(round(demand.pim_ops_ret * share))
+                host_raw = int(round((atomics_dem - demand.total_pim) * share))
+                # Clamp against the ledger (rounding drift), cutting the
+                # host accounting before offloaded traffic.
+                over = served_pim + served_pim_ret + host_raw - rem_atomics
+                if over > 0:
+                    cut = min(over, host_raw)
+                    host_raw -= cut
+                    over -= cut
+                    cut = min(over, served_pim)
+                    served_pim -= cut
+                    served_pim_ret -= over - cut
+                if final_step:
+                    # Residual flush: whatever the integer ledgers still
+                    # hold is served in this last quantum instead of being
+                    # dropped with the sub-0.5 fluid remainder.
+                    served_reads = rem_reads
+                    served_writes = rem_writes
+                    leftover = rem_atomics - (served_pim + served_pim_ret
+                                              + host_raw)
+                    extra_pim = min(leftover, int(round(leftover * fraction)))
+                    extra_host = leftover - extra_pim
+                    served_pim += extra_pim
+                    host_raw += extra_host
+                    served_host += int(round(
+                        extra_host * self.cache.host_atomic_coalescing
+                    ))
+                rem_reads -= served_reads
+                rem_writes -= served_writes
+                rem_atomics -= served_pim + served_pim_ret + host_raw
+                host_assigned_total += host_raw
                 served = TrafficDemand(
-                    reads=int(round(demand.reads * share)),
-                    writes=int(round(demand.writes * share)),
-                    host_atomics=int(round(demand.host_atomics * share)),
-                    pim_ops=int(round(demand.pim_ops * share)),
-                    pim_ops_ret=int(round(demand.pim_ops_ret * share)),
+                    reads=served_reads,
+                    writes=served_writes,
+                    host_atomics=served_host,
+                    pim_ops=served_pim,
+                    pim_ops_ret=served_pim_ret,
                 )
                 state.drain(share)
 
@@ -409,7 +483,12 @@ class SystemSimulator:
 
                 if now_s >= next_sample:
                     timeline.append((now_s, temp_c, pim_rate, fraction))
-                    next_sample = now_s + self.timeline_dt_s
+                    # Snap to the fixed grid: the next sample is due at the
+                    # first grid point strictly after now, so sample spacing
+                    # does not drift with step size (Fig. 14 comparability).
+                    next_sample = (
+                        math.floor(now_s / self.timeline_dt_s) + 1.0
+                    ) * self.timeline_dt_s
 
             if traced:
                 tracer.complete(
@@ -430,6 +509,7 @@ class SystemSimulator:
         stats.counter("shutdowns").add(shutdowns)
         stats.counter("pim_ops").add(pim_ops_total)
         stats.counter("host_atomics").add(host_atomics_total)
+        stats.counter("host_atomics_assigned").add(host_assigned_total)
         if traced:
             tracer.complete(
                 "sim.run", wall_t0, _time.perf_counter(), cat="sim",

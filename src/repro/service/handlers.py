@@ -68,6 +68,7 @@ def simulation_spec(
     cooling: str = "commodity",
     seed: int = 0,
     workload_scale: float = 1.0,
+    engine: str = "macro",
     timeout_s: Optional[float] = None,
     max_retries: int = 0,
 ) -> JobSpec:
@@ -76,7 +77,9 @@ def simulation_spec(
     ``workload_scale`` shrinks the run length (``repro trace --quick``
     and smoke runs); it only enters the params — and therefore the cache
     key — when it differs from 1.0, so existing full-scale cache entries
-    keep their keys.
+    keep their keys. Likewise ``engine`` enters the params only for
+    non-default engines (the macro engine reproduces the stepped
+    aggregates, so results cached under either stay comparable).
     """
     params = {
         "workload": workload,
@@ -86,6 +89,8 @@ def simulation_spec(
     }
     if workload_scale != 1.0:
         params["workload_scale"] = workload_scale
+    if engine != "macro":
+        params["engine"] = engine
     return JobSpec(
         kind="simulation",
         name=f"{workload}/{policy}@{dataset}",
@@ -125,7 +130,8 @@ def run_simulation_job(spec: JobSpec) -> Dict[str, Any]:
 
     params = spec.params
     system = CoolPimSystem(
-        cooling=COOLING_SOLUTIONS[params.get("cooling", "commodity")]
+        cooling=COOLING_SOLUTIONS[params.get("cooling", "commodity")],
+        engine=params.get("engine", "macro"),
     )
     graph = get_dataset(params.get("dataset", "ldbc"))
     workload = get_workload(params["workload"], seed=spec.seed)

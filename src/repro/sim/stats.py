@@ -163,6 +163,33 @@ class Histogram:
             idx = int((x - self.lo) / (self.hi - self.lo) * self.nbins)
             self.bins[min(idx, self.nbins - 1)] += 1
 
+    def add_many(self, xs) -> None:
+        """Bulk-add a sequence of samples (vectorized fill).
+
+        Equivalent to calling :meth:`add` per sample except that ``total``
+        accumulates via a vectorized sum, so its float rounding may differ
+        from the sequential order by ULPs. Batch writers (the macro-step
+        simulator engine) use this to fill thousands of samples per burst.
+        """
+        import numpy as np
+
+        xs = np.asarray(xs, dtype=float)
+        if xs.size == 0:
+            return
+        self.count += int(xs.size)
+        self.total += float(xs.sum())
+        under = xs < self.lo
+        over = xs >= self.hi
+        self.underflow += int(under.sum())
+        self.overflow += int(over.sum())
+        mid = xs[~(under | over)]
+        if mid.size:
+            idx = ((mid - self.lo) / (self.hi - self.lo) * self.nbins).astype(int)
+            np.minimum(idx, self.nbins - 1, out=idx)
+            counts = np.bincount(idx, minlength=self.nbins)
+            for i in np.nonzero(counts)[0]:
+                self.bins[int(i)] += int(counts[i])
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0

@@ -145,6 +145,19 @@ class TraceCursor:
     def rewind(self) -> None:
         self._pos = 0
 
+    def seek(self, position: int) -> None:
+        """Move the cursor to an absolute epoch index.
+
+        Speculative consumers (the macro-step engine reads ahead, then
+        commits only a validated prefix) use this to restore the cursor to
+        the last committed epoch.
+        """
+        if not 0 <= position <= len(self._batches):
+            raise ValueError(
+                f"position {position} out of range [0, {len(self._batches)}]"
+            )
+        self._pos = position
+
     def totals(self) -> OpBatch:
         """Aggregate over the full trace (ignores cursor position)."""
         return merge_batches(self._batches, label="totals")

@@ -21,7 +21,8 @@ from repro.hmc.config import HMC_2_0, HmcConfig
 from repro.obs.tracer import get_tracer
 from repro.thermal.cooling import COMMODITY_SERVER, CoolingSolution
 from repro.thermal.floorplan import Floorplan
-from repro.thermal.operators import get_operators
+from repro.thermal.operators import get_operators, get_propagator
+from repro.thermal.propagator import ReducedPropagator
 from repro.thermal.power import PowerModel, TrafficPoint
 from repro.thermal.rc_network import DEFAULT_INTERFACE_SCALE, RcNetwork, build_network
 from repro.thermal.solver import SteadySolver, TransientSolver
@@ -77,6 +78,9 @@ class HmcThermalModel:
             )
             self._steady = SteadySolver(self.network, ambient_c=ambient_c)
             self._transient = TransientSolver(self.network, ambient_c=ambient_c)
+            ops = None
+        self._shared_ops = ops
+        self._private_propagators: Dict[tuple, ReducedPropagator] = {}
         self._last_T: Optional[np.ndarray] = None
 
     # -- power plumbing ---------------------------------------------------------
@@ -253,6 +257,49 @@ class HmcThermalModel:
         T = self._transient.T
         names = [f"dram{i}" for i in range(self.config.num_dram_dies)]
         return self._peak_over_layers(T, names)
+
+    def set_transient_state(self, T: np.ndarray) -> None:
+        """Install a node-temperature state (macro-engine burst commit)."""
+        self._transient.set_state(T)
+        self._last_T = self._transient.T
+
+    # -- reduced propagation -----------------------------------------------------
+
+    def _power_fingerprint(self) -> tuple:
+        pm = self.power
+        return (
+            pm.dram_energy_per_bit, pm.logic_energy_per_bit,
+            pm.fu_energy_per_bit, pm.static_logic_w, pm.static_dram_total_w,
+        )
+
+    def propagator(self, dt_s: float) -> ReducedPropagator:
+        """Reduced K-step propagator for ``dt_s`` (see
+        :mod:`repro.thermal.propagator`).
+
+        Forcing-basis columns are ordered ``(p0_logic, p0_dram, v_ext,
+        v_int, v_pim, B)``, so a step's coefficient vector under energy
+        scale ``s`` and ambient ``T_amb`` is
+        ``(1, s, ext_gbs, s·int_gbs, s·pim_rate, T_amb)`` — matching
+        :meth:`_power_vector` plus the boundary term. Cached on the shared
+        operator bundle when available, else per-model.
+        """
+        inputs = np.column_stack([*self._basis(), self.network.B])
+        fingerprint = self._power_fingerprint()
+        if self._shared_ops is not None:
+            return get_propagator(self._shared_ops, dt_s, inputs, fingerprint)
+        key = (float(dt_s), fingerprint)
+        prop = self._private_propagators.get(key)
+        if prop is None:
+            net = self.network
+            dram_index = np.concatenate([
+                np.arange(net.num_nodes)[net.layer_slice(net.layer_index[f"dram{i}"])]
+                for i in range(self.config.num_dram_dies)
+            ])
+            prop = ReducedPropagator(
+                net, self._transient._lus.get(dt_s), dt_s, inputs, dram_index
+            )
+            self._private_propagators[key] = prop
+        return prop
 
     # -- maps ---------------------------------------------------------------------
 

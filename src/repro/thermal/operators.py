@@ -22,8 +22,10 @@ spawn start method each worker warms its own cache on first use.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Tuple
+
+import numpy as np
 
 from repro.hmc.config import HmcConfig
 from repro.obs.tracer import get_tracer
@@ -35,7 +37,8 @@ from repro.thermal.rc_network import (
     RcNetwork,
     build_network,
 )
-from repro.thermal.solver import StepLuCache, SteadySolver
+from repro.thermal.propagator import ReducedPropagator
+from repro.thermal.solver import StepLuCache, SteadySolver, _dt_key
 from repro.thermal.stack import StackSpec, build_stack
 
 #: (config, cooling, sub, interface_scale, ambient, board_resistance)
@@ -44,13 +47,51 @@ OperatorKey = Tuple[HmcConfig, CoolingSolution, int, float, float, float]
 
 @dataclass
 class ThermalOperators:
-    """Immutable-after-construction operator bundle for one package."""
+    """Operator bundle for one package.
+
+    Immutable after construction except for the additive caches: the step
+    LUs and the reduced propagators only ever gain entries (and a
+    propagator only ever *extends* its basis), which is the same sharing
+    contract :class:`StepLuCache` already relies on.
+    """
 
     stack: StackSpec
     floorplan: Floorplan
     network: RcNetwork
     steady: SteadySolver
     step_lus: StepLuCache
+    #: Reduced K-step propagators keyed by (quantized dt, ambient,
+    #: power-basis fingerprint) — see :func:`get_propagator`.
+    propagators: Dict[Tuple, ReducedPropagator] = field(default_factory=dict)
+
+
+def get_propagator(
+    ops: ThermalOperators,
+    dt_s: float,
+    inputs: np.ndarray,
+    fingerprint: Tuple,
+) -> ReducedPropagator:
+    """Memoized :class:`ReducedPropagator` for one (bundle, dt, basis).
+
+    ``inputs`` are the forcing basis columns (the thermal model's power
+    basis plus the ambient boundary vector); ``fingerprint`` must identify
+    their provenance (power-model constants, ambient) so models with
+    altered calibration don't share a basis built for different vectors.
+    """
+    key = (_dt_key(dt_s), fingerprint)
+    prop = ops.propagators.get(key)
+    if prop is None:
+        net = ops.network
+        dram_index = np.concatenate([
+            np.arange(net.num_nodes)[net.layer_slice(idx)]
+            for name, idx in sorted(net.layer_index.items())
+            if name.startswith("dram")
+        ])
+        prop = ReducedPropagator(
+            net, ops.step_lus.get(dt_s), dt_s, inputs, dram_index
+        )
+        ops.propagators[key] = prop
+    return prop
 
 
 _CACHE: Dict[OperatorKey, ThermalOperators] = {}
@@ -135,6 +176,11 @@ def cache_stats() -> Dict[str, int]:
         "step_lu_entries": sum(len(ops.step_lus) for ops in _CACHE.values()),
         "step_lu_hits": sum(ops.step_lus.hits for ops in _CACHE.values()),
         "step_lu_misses": sum(ops.step_lus.misses for ops in _CACHE.values()),
+        "propagators": sum(len(ops.propagators) for ops in _CACHE.values()),
+        "propagator_extensions": sum(
+            p.extensions for ops in _CACHE.values()
+            for p in ops.propagators.values()
+        ),
     }
 
 

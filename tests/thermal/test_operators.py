@@ -30,6 +30,8 @@ class TestOperatorCache:
             "step_lu_entries": 0,
             "step_lu_hits": 0,
             "step_lu_misses": 0,
+            "propagators": 0,
+            "propagator_extensions": 0,
         }
 
     def test_distinct_keys_get_distinct_bundles(self):

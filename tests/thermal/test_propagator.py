@@ -1,0 +1,103 @@
+"""Reduced-order propagator vs the exact LU stepper.
+
+The macro engine trusts :class:`ReducedPropagator` to reproduce the exact
+per-quantum peak-DRAM trajectory to well under the 1e-6 °C decision
+margin; these tests pin that contract directly against
+``HmcThermalModel.step``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hmc.config import HMC_2_0
+from repro.thermal.model import HmcThermalModel
+from repro.thermal.power import TrafficPoint
+from repro.thermal.propagator import first_crossing
+
+DT_S = 25e-6
+
+
+def coeff_columns(tp: TrafficPoint, ambient_c: float, k: int,
+                  scale: float = 1.0) -> np.ndarray:
+    """Power-basis weights for ``k`` quanta of constant traffic.
+
+    Matches the engine's convention for the propagator input basis
+    ``(p0_logic, p0_dram, v_ext, v_int, v_pim, ambient)``.
+    """
+    col = np.array([
+        1.0,
+        scale,
+        tp.external_gbs,
+        scale * tp.internal_dram_gbs,
+        scale * tp.pim_rate_ops_ns,
+        ambient_c,
+    ])
+    return np.tile(col[:, None], (1, k))
+
+
+class TestAgainstExactStepper:
+    def test_constant_traffic_trajectory(self):
+        model = HmcThermalModel(HMC_2_0)
+        tp = TrafficPoint(
+            external_gbs=80.0, internal_dram_gbs=120.0, pim_rate_ops_ns=0.4
+        )
+        model.warm_start(TrafficPoint.idle())
+        prop = model.propagator(DT_S)
+        assert prop.healthy
+        T0 = model.state.copy()
+
+        K = 48
+        exact = np.array([model.step(tp, DT_S) for _ in range(K)])
+        T_end, peaks = prop.multi_step(
+            T0, coeff_columns(tp, model.ambient_c, K)
+        )
+        assert peaks is not None
+        np.testing.assert_allclose(peaks, exact, atol=1e-6)
+        # The reconstructed end state matches the exact node state too.
+        assert float(np.abs(T_end - model.state).max()) < 1e-6
+
+    def test_derated_energy_scale(self):
+        """The EXTENDED/CRITICAL refresh derating enters as a scale on
+        the DRAM power-basis columns; the march must track it."""
+        model = HmcThermalModel(HMC_2_0)
+        tp = TrafficPoint(
+            external_gbs=60.0, internal_dram_gbs=90.0, pim_rate_ops_ns=0.2
+        )
+        model.warm_start(tp)
+        prop = model.propagator(DT_S)
+        T0 = model.state.copy()
+
+        K = 24
+        scale = 1.6
+        exact = np.array([
+            model.step(tp, DT_S, dram_energy_scale=scale) for _ in range(K)
+        ])
+        _, peaks = prop.multi_step(
+            T0, coeff_columns(tp, model.ambient_c, K, scale=scale)
+        )
+        np.testing.assert_allclose(peaks, exact, atol=1e-6)
+
+    def test_project_round_trip(self):
+        model = HmcThermalModel(HMC_2_0)
+        model.warm_start(TrafficPoint.streaming(100.0))
+        prop = model.propagator(DT_S)
+        z, resid = prop.project(model.state)
+        assert z is not None
+        assert resid < 1e-6
+        back = prop.reconstruct(z)
+        assert float(np.abs(back - model.state).max()) < 1e-6
+        assert prop.dram_peak_of(z) == pytest.approx(
+            model.peak_dram_c(), abs=1e-6
+        )
+
+
+class TestFirstCrossing:
+    def test_finds_first_index(self):
+        series = np.array([80.0, 82.0, 84.9, 85.0, 90.0, 84.0])
+        assert first_crossing(series, 85.0) == 3
+
+    def test_none_when_below(self):
+        assert first_crossing(np.array([80.0, 81.0]), 85.0) is None
+
+    def test_empty_series(self):
+        assert first_crossing(np.empty(0), 85.0) is None
