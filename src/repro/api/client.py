@@ -1,0 +1,151 @@
+"""Blocking stdlib client for the simulation API.
+
+``http.client`` only — usable from tests, scripts, and the CI smoke
+without any extra dependency. One connection per request (the server is
+``Connection: close``); event streams are consumed line-by-line off the
+response socket so progress arrives as it happens.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+
+class ApiClientError(RuntimeError):
+    """A non-2xx response."""
+
+    def __init__(self, status: int, body: Any) -> None:
+        super().__init__(f"HTTP {status}: {body}")
+        self.status = status
+        self.body = body
+
+
+class ApiClient:
+    """Minimal synchronous client. ``tenant`` rides the X-Tenant header."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        tenant: Optional[str] = None,
+        timeout_s: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout_s = timeout_s
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _headers(self, extra: Optional[Dict[str, str]] = None) -> Dict[str, str]:
+        headers = {"Accept": "application/json"}
+        if self.tenant:
+            headers["X-Tenant"] = self.tenant
+        if extra:
+            headers.update(extra)
+        return headers
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Any]:
+        """One request → (status, parsed JSON | raw text)."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            payload = None
+            send_headers = self._headers(headers)
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                send_headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=send_headers)
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                doc = json.loads(raw.decode("utf-8")) if raw else None
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                doc = raw.decode("utf-8", "replace")
+            return response.status, doc
+        finally:
+            conn.close()
+
+    def _checked(self, method: str, path: str, body=None) -> Any:
+        status, doc = self.request(method, path, body)
+        if status >= 400:
+            raise ApiClientError(status, doc)
+        return doc
+
+    # -- API surface -------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._checked("GET", "/healthz")
+
+    def submit_run(self, **body: Any) -> Dict[str, Any]:
+        return self._checked("POST", "/runs", body)
+
+    def submit_sweep(self, **body: Any) -> Dict[str, Any]:
+        return self._checked("POST", "/sweeps", body)
+
+    def get_run(self, run_id: str) -> Dict[str, Any]:
+        return self._checked("GET", f"/runs/{run_id}")
+
+    def get_sweep(self, sweep_id: str) -> Dict[str, Any]:
+        return self._checked("GET", f"/sweeps/{sweep_id}")
+
+    def leaderboard(self, **filters: str) -> Dict[str, Any]:
+        query = "&".join(f"{k}={v}" for k, v in filters.items() if v)
+        return self._checked(
+            "GET", "/leaderboard" + (f"?{query}" if query else "")
+        )
+
+    def admin_cache(self) -> Dict[str, Any]:
+        return self._checked("GET", "/admin/cache")
+
+    def artifact(self, run_id: str, name: str) -> Any:
+        return self._checked("GET", f"/runs/{run_id}/artifacts/{name}")
+
+    def stream_events(self, run_id: str) -> Iterator[Dict[str, Any]]:
+        """Follow a run's JSONL event stream until its terminal event."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            conn.request(
+                "GET",
+                f"/runs/{run_id}/events?format=jsonl",
+                headers=self._headers({"Accept": "application/x-ndjson"}),
+            )
+            response = conn.getresponse()
+            if response.status >= 400:
+                raise ApiClientError(
+                    response.status,
+                    response.read().decode("utf-8", "replace"),
+                )
+            for raw in response:
+                line = raw.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        finally:
+            conn.close()
+
+    def wait_for_run(
+        self, run_id: str, timeout_s: float = 60.0, poll_s: float = 0.05
+    ) -> Dict[str, Any]:
+        """Poll until the run reaches a terminal state."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            doc = self.get_run(run_id)
+            if doc["status"] in ("completed", "failed", "drained"):
+                return doc
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"run {run_id} still {doc['status']} after {timeout_s}s"
+                )
+            time.sleep(poll_s)

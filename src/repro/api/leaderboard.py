@@ -1,0 +1,166 @@
+"""Policy leaderboard computed from cached simulation results.
+
+``GET /leaderboard`` is the service's product face: it ranks every
+throttling policy that has results in the content-addressed store —
+base policies (non-offloading, naïve), the paper's SW-DynT/HW-DynT, the
+ideal-thermal bound, and any variant registered later — across the
+scenario suite the cache has accumulated.
+
+A **scenario** is one (workload, dataset, cooling, seed, workload_scale)
+tuple; within a scenario, policies are compared against that scenario's
+``non-offloading`` baseline (the Fig. 10 speedup convention). A policy's
+headline number is the geometric mean of its per-scenario speedups —
+only over scenarios where the baseline exists, so partial caches never
+skew the ratio — alongside thermal and energy aggregates straight from
+the cached :class:`~repro.gpu.simulator.SimulationResult` dictionaries.
+
+The ranking is deterministic: results are read from a content-addressed
+store, aggregation order is sorted, and ties break on policy name.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.service.store import ResultStore
+
+LEADERBOARD_SCHEMA_ID = "repro.leaderboard/1"
+
+#: Baseline policy every speedup is measured against.
+BASELINE_POLICY = "non-offloading"
+
+ScenarioKey = Tuple[str, str, str, int, float]
+
+
+def _scenario_key(params: Dict[str, Any], seed: int) -> ScenarioKey:
+    return (
+        str(params.get("workload", "?")),
+        str(params.get("dataset", "ldbc")),
+        str(params.get("cooling", "commodity")),
+        int(seed),
+        float(params.get("workload_scale", 1.0)),
+    )
+
+
+def _geo_mean(values: List[float]) -> Optional[float]:
+    positive = [v for v in values if v > 0]
+    if not positive:
+        return None
+    return math.exp(sum(math.log(v) for v in positive) / len(positive))
+
+
+def build_leaderboard(
+    store: ResultStore,
+    workload: Optional[str] = None,
+    dataset: Optional[str] = None,
+    cooling: Optional[str] = None,
+    include_stale: bool = False,
+) -> Dict[str, Any]:
+    """Rank policies over the cached scenario suite.
+
+    Optional filters restrict the suite; ``include_stale`` admits records
+    written by an older code fingerprint (off by default, matching the
+    store's own read rules).
+    """
+    # scenario → policy → aggregates dict
+    scenarios: Dict[ScenarioKey, Dict[str, Dict[str, Any]]] = {}
+    for record in store.entries():
+        spec = record.get("spec", {})
+        if spec.get("kind") != "simulation":
+            continue
+        if not include_stale and record.get("fingerprint") != store.fingerprint:
+            continue
+        params = spec.get("params", {})
+        if workload is not None and params.get("workload") != workload:
+            continue
+        if dataset is not None and params.get("dataset", "ldbc") != dataset:
+            continue
+        if cooling is not None and params.get("cooling", "commodity") != cooling:
+            continue
+        result = record.get("payload", {}).get("result")
+        if not isinstance(result, dict) or "runtime_s" not in result:
+            continue
+        key = _scenario_key(params, spec.get("seed", 0))
+        policy = str(params.get("policy", "?"))
+        scenarios.setdefault(key, {})[policy] = result
+
+    rows: Dict[str, Dict[str, Any]] = {}
+    for key in sorted(scenarios):
+        by_policy = scenarios[key]
+        baseline = by_policy.get(BASELINE_POLICY)
+        for policy in sorted(by_policy):
+            result = by_policy[policy]
+            row = rows.setdefault(
+                policy,
+                {
+                    "policy": policy,
+                    "scenarios": 0,
+                    "speedups": [],
+                    "energy_ratios": [],
+                    "peak_temps": [],
+                    "pim_rates": [],
+                    "thermal_warnings": 0,
+                    "shutdowns": 0,
+                },
+            )
+            row["scenarios"] += 1
+            row["peak_temps"].append(float(result.get("peak_dram_temp_c", 0.0)))
+            row["pim_rates"].append(float(result.get("avg_pim_rate_ops_ns", 0.0)))
+            row["thermal_warnings"] += int(result.get("thermal_warnings", 0))
+            row["shutdowns"] += int(result.get("shutdowns", 0))
+            if baseline is not None and result.get("runtime_s", 0) > 0:
+                row["speedups"].append(
+                    float(baseline["runtime_s"]) / float(result["runtime_s"])
+                )
+                base_energy = float(baseline.get("total_energy_j", 0.0))
+                if base_energy > 0:
+                    row["energy_ratios"].append(
+                        float(result.get("total_energy_j", 0.0)) / base_energy
+                    )
+
+    entries: List[Dict[str, Any]] = []
+    for policy in sorted(rows):
+        row = rows[policy]
+        speedups = row.pop("speedups")
+        energy_ratios = row.pop("energy_ratios")
+        peak_temps = row.pop("peak_temps")
+        pim_rates = row.pop("pim_rates")
+        row["geomean_speedup"] = _geo_mean(speedups)
+        row["compared_scenarios"] = len(speedups)
+        row["mean_energy_ratio"] = (
+            sum(energy_ratios) / len(energy_ratios) if energy_ratios else None
+        )
+        row["mean_peak_temp_c"] = (
+            sum(peak_temps) / len(peak_temps) if peak_temps else None
+        )
+        row["max_peak_temp_c"] = max(peak_temps) if peak_temps else None
+        row["mean_pim_rate_ops_ns"] = (
+            sum(pim_rates) / len(pim_rates) if pim_rates else None
+        )
+        entries.append(row)
+
+    # Rank by geomean speedup (desc); policies without a comparable
+    # baseline sort after ranked ones; ties break on name (already the
+    # iteration order, but make it explicit).
+    entries.sort(
+        key=lambda e: (
+            e["geomean_speedup"] is None,
+            -(e["geomean_speedup"] or 0.0),
+            e["policy"],
+        )
+    )
+    for rank, entry in enumerate(entries, start=1):
+        entry["rank"] = rank
+
+    return {
+        "schema": LEADERBOARD_SCHEMA_ID,
+        "baseline": BASELINE_POLICY,
+        "scenarios": len(scenarios),
+        "filters": {
+            "workload": workload,
+            "dataset": dataset,
+            "cooling": cooling,
+        },
+        "policies": entries,
+    }

@@ -6,13 +6,16 @@
     python -m repro experiments --only fig5,fig10
     python -m repro batch --quick
     python -m repro cache stats
+    python -m repro serve --port 8177
 
 ``run`` simulates one (workload, policy) pair, ``compare`` runs the full
 policy matrix for one workload, and ``experiments`` delegates to
 :mod:`repro.experiments.runner` (serial). ``batch`` runs the figure
 sweep as jobs on the :mod:`repro.service` process pool with the
 content-addressed result cache (re-running a sweep skips completed
-jobs), and ``cache`` inspects or clears that store.
+jobs), ``cache`` inspects or clears that store (``--json`` for the
+machine-readable shape the API's admin endpoint serves), and ``serve``
+runs the async HTTP API (:mod:`repro.api`, see ``docs/SERVICE.md``).
 
 Observability (see ``docs/OBSERVABILITY.md``)::
 
@@ -139,10 +142,18 @@ def cmd_batch(args) -> int:
 
 
 def cmd_cache(args) -> int:
-    from repro.service import JobJournal, ResultStore
+    from repro.service import JobJournal, ResultStore, store_stats_payload
 
     store = ResultStore(root=args.cache_dir) if args.cache_dir else ResultStore()
     action = args.action
+    if getattr(args, "json", False):
+        if action != "stats":
+            print("--json only applies to the stats action", file=sys.stderr)
+            return 2
+        import json
+
+        print(json.dumps(store_stats_payload(store), indent=2, sort_keys=True))
+        return 0
     if action == "clear":
         print(f"removed {store.clear()} cached result(s) from {store.root}")
         return 0
@@ -173,6 +184,66 @@ def cmd_cache(args) -> int:
         events = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
         print(f"journal   : {journal_path} ({events})")
     return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the simulation-as-a-service HTTP API (see docs/SERVICE.md)."""
+    import asyncio
+    import signal as signal_mod
+
+    from repro.api import ApiServer, ApiService
+    from repro.api.fairness import FairQueue, TenantPolicy
+    from repro.service import JobJournal, ResultStore
+
+    store = None
+    journal = None
+    if not args.no_cache:
+        store = (
+            ResultStore(root=args.cache_dir) if args.cache_dir else ResultStore()
+        )
+        journal = JobJournal(
+            store.root / "journal.jsonl",
+            max_bytes=args.journal_max_bytes,
+        )
+    service = ApiService(
+        store=store,
+        journal=journal,
+        queue=FairQueue(
+            default_policy=TenantPolicy(max_queued=args.tenant_quota)
+        ),
+        workers=args.workers,
+        pool=args.pool,
+        use_cache=not args.no_cache,
+    )
+    server = ApiServer(service, host=args.host, port=args.port)
+
+    async def _main() -> int:
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal_mod.SIGINT, signal_mod.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # pragma: no cover — non-Unix
+                pass
+
+        def _ready(s: ApiServer) -> None:
+            print(f"repro api listening on http://{s.host}:{s.port} "
+                  f"({args.workers} worker(s), "
+                  f"{'process-pool' if args.pool else 'serial'} jobs, "
+                  f"cache {'off' if args.no_cache else store.root})",
+                  flush=True)
+
+        await server.serve_until(
+            stop, drain_timeout_s=args.drain_timeout, on_ready=_ready
+        )
+        print("repro api stopped (queue drained to journal)", flush=True)
+        return 0
+
+    try:
+        return asyncio.run(_main())
+    finally:
+        if journal is not None:
+            journal.close()
 
 
 def cmd_trace(args) -> int:
@@ -383,6 +454,33 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["stats", "ls", "clear", "prune"],
     )
     cache_p.add_argument("--cache-dir", default=None, metavar="DIR")
+    cache_p.add_argument("--json", action="store_true",
+                         help="emit stats as JSON (machine-readable; same "
+                              "shape as the API's GET /admin/cache)")
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the async simulation-as-a-service HTTP API",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8177,
+                         help="listen port (0 picks a free one)")
+    serve_p.add_argument("--workers", type=int, default=2, metavar="N",
+                         help="concurrent jobs (worker threads)")
+    serve_p.add_argument("--pool", action="store_true",
+                         help="run each job on a process pool instead of "
+                              "serially in its worker thread")
+    serve_p.add_argument("--cache-dir", default=None, metavar="DIR")
+    serve_p.add_argument("--no-cache", action="store_true",
+                         help="no result store: every submission executes")
+    serve_p.add_argument("--tenant-quota", type=int, default=64,
+                         metavar="N", help="max queued jobs per tenant")
+    serve_p.add_argument("--journal-max-bytes", type=int, default=8_000_000,
+                         metavar="BYTES",
+                         help="rotate the job journal past this size")
+    serve_p.add_argument("--drain-timeout", type=float, default=10.0,
+                         metavar="S",
+                         help="seconds to wait for running jobs on shutdown")
 
     trace_p = sub.add_parser(
         "trace",
@@ -424,6 +522,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "experiments": cmd_experiments,
         "batch": cmd_batch,
         "cache": cmd_cache,
+        "serve": cmd_serve,
         "trace": cmd_trace,
         "report": cmd_report,
     }

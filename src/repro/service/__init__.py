@@ -48,11 +48,19 @@ from repro.service.jobs import (
 )
 from repro.service.journal import JobJournal
 from repro.service.scheduler import JobScheduler, SweepReport, run_jobs
-from repro.service.store import CachedResult, ResultStore, StoreStats, default_cache_dir
+from repro.service.singleflight import Flight, SingleFlight
+from repro.service.store import (
+    CachedResult,
+    ResultStore,
+    StoreStats,
+    default_cache_dir,
+    store_stats_payload,
+)
 
 __all__ = [
     "SPEC_VERSION",
     "CachedResult",
+    "Flight",
     "JobFailure",
     "JobJournal",
     "JobResult",
@@ -60,6 +68,7 @@ __all__ = [
     "JobSpec",
     "JobTimeoutError",
     "ResultStore",
+    "SingleFlight",
     "StoreStats",
     "SweepReport",
     "UnknownJobKindError",
@@ -73,5 +82,6 @@ __all__ = [
     "run_jobs",
     "run_simulation_job",
     "simulation_spec",
+    "store_stats_payload",
     "unregister_handler",
 ]

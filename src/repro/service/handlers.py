@@ -69,6 +69,7 @@ def simulation_spec(
     seed: int = 0,
     workload_scale: float = 1.0,
     engine: str = "macro",
+    trace: bool = False,
     timeout_s: Optional[float] = None,
     max_retries: int = 0,
 ) -> JobSpec:
@@ -79,7 +80,9 @@ def simulation_spec(
     key — when it differs from 1.0, so existing full-scale cache entries
     keep their keys. Likewise ``engine`` enters the params only for
     non-default engines (the macro engine reproduces the stepped
-    aggregates, so results cached under either stay comparable).
+    aggregates, so results cached under either stay comparable), and
+    ``trace`` — which makes the payload carry the sampled timeline so
+    trace artifacts can be rendered later — only when set.
     """
     params = {
         "workload": workload,
@@ -91,6 +94,8 @@ def simulation_spec(
         params["workload_scale"] = workload_scale
     if engine != "macro":
         params["engine"] = engine
+    if trace:
+        params["trace"] = True
     return JobSpec(
         kind="simulation",
         name=f"{workload}/{policy}@{dataset}",
@@ -143,7 +148,9 @@ def run_simulation_job(spec: JobSpec) -> Dict[str, Any]:
         "policy": params.get("policy", "coolpim-hw"),
         "cooling": params.get("cooling", "commodity"),
         "seed": spec.seed,
-        "result": result.to_dict(include_timeline=get_tracer().enabled),
+        "result": result.to_dict(
+            include_timeline=get_tracer().enabled or bool(params.get("trace"))
+        ),
     }
     if system.last_stats is not None:
         payload["metrics"] = system.last_stats.snapshot(structured=True)

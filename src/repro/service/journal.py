@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from collections import Counter
 from pathlib import Path
@@ -22,25 +23,71 @@ class JobJournal:
 
     Usable as a context manager; safe to leave open for the lifetime of a
     scheduler (each event is flushed to disk immediately, so a killed
-    sweep keeps every event up to the kill).
+    sweep keeps every event up to the kill). Appends are serialized with
+    a lock, so one journal may be shared by the HTTP service loop and its
+    executor threads.
+
+    With ``max_bytes`` set, the journal is size-bounded: when an append
+    would push the current file past the limit, the file rotates to
+    ``<name>.1`` (shifting ``.1 → .2`` … up to ``keep`` generations, the
+    oldest dropped) and a fresh file starts. Readers see the current
+    generation by default; :meth:`iter_events` with
+    ``include_rotated=True`` walks oldest → newest.
     """
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        path: Union[str, Path],
+        max_bytes: Optional[int] = None,
+        keep: int = 3,
+    ) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive (or None)")
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
         self.path = Path(path)
+        self.max_bytes = max_bytes
+        self.keep = keep
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
         self._fh = open(self.path, "a", encoding="utf-8")
 
     def append(self, event: str, **fields: Any) -> Dict[str, Any]:
         record: Dict[str, Any] = {"ts": time.time(), "event": event}
         record.update(fields)
-        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        with self._lock:
+            if (
+                self.max_bytes is not None
+                and self._fh.tell() > 0
+                and self._fh.tell() + len(line) > self.max_bytes
+            ):
+                self._rotate_locked()
+            self._fh.write(line)
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
         return record
 
+    def _rotate_locked(self) -> None:
+        """Shift generations and reopen a fresh current file."""
+        self._fh.close()
+        self.rotated_path(self.keep).unlink(missing_ok=True)
+        for i in range(self.keep - 1, 0, -1):
+            src = self.rotated_path(i)
+            if src.exists():
+                os.replace(src, self.rotated_path(i + 1))
+        if self.path.exists():
+            os.replace(self.path, self.rotated_path(1))
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def rotated_path(self, generation: int) -> Path:
+        """Path of the ``generation``-th rotated file (1 = newest)."""
+        return self.path.with_name(f"{self.path.name}.{generation}")
+
     def close(self) -> None:
-        if not self._fh.closed:
-            self._fh.close()
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
 
     def __enter__(self) -> "JobJournal":
         return self
@@ -51,25 +98,45 @@ class JobJournal:
     # -- reading ----------------------------------------------------------
 
     @staticmethod
-    def read(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    def read(
+        path: Union[str, Path], include_rotated: bool = False
+    ) -> List[Dict[str, Any]]:
         """All parseable events in ``path`` (missing file → empty list)."""
-        return list(JobJournal.iter_events(path))
+        return list(JobJournal.iter_events(path, include_rotated=include_rotated))
 
     @staticmethod
-    def iter_events(path: Union[str, Path]) -> Iterator[Dict[str, Any]]:
-        try:
-            fh = open(path, "r", encoding="utf-8")
-        except FileNotFoundError:
-            return
-        with fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    yield json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # a torn final line from a killed process
+    def iter_events(
+        path: Union[str, Path], include_rotated: bool = False
+    ) -> Iterator[Dict[str, Any]]:
+        path = Path(path)
+        files: List[Path] = []
+        if include_rotated:
+            # Rotated generations, oldest first (.N ... .1), then current.
+            rotated = sorted(
+                (
+                    p
+                    for p in path.parent.glob(f"{path.name}.*")
+                    if p.suffix.lstrip(".").isdigit()
+                ),
+                key=lambda p: int(p.suffix.lstrip(".")),
+                reverse=True,
+            )
+            files.extend(rotated)
+        files.append(path)
+        for file in files:
+            try:
+                fh = open(file, "r", encoding="utf-8")
+            except FileNotFoundError:
+                continue
+            with fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        yield json.loads(line)
+                    except json.JSONDecodeError:
+                        continue  # a torn final line from a killed process
 
     @staticmethod
     def summary(

@@ -55,7 +55,13 @@ from repro.service.jobs import (
     resolve_handler,
 )
 from repro.service.journal import JobJournal
+from repro.service.singleflight import Flight, SingleFlight
 from repro.service.store import ResultStore
+
+#: Process-wide single-flight group: concurrent schedulers (threads of the
+#: HTTP service, parallel batch invocations) coalesce identical specs on
+#: their content key, so a job racing its twin executes exactly once.
+_SINGLE_FLIGHT = SingleFlight()
 
 #: First-retry backoff; attempt ``n`` waits ``backoff * 2**(n-1)`` seconds.
 DEFAULT_BACKOFF_S = 0.05
@@ -130,6 +136,10 @@ class SweepReport:
     elapsed_s: float = 0.0
     cache_hits: int = 0
     executed: int = 0
+    #: Jobs served by a concurrent execution in another scheduler
+    #: (single-flight followers) — counted in neither ``cache_hits``
+    #: nor ``executed``.
+    coalesced: int = 0
 
     @property
     def ok(self) -> bool:
@@ -142,10 +152,11 @@ class SweepReport:
         return self.failures.get(spec.key)
 
     def summary_line(self) -> str:
+        coalesced = f", {self.coalesced} coalesced" if self.coalesced else ""
         return (
             f"{len(self.results)} ok ({self.cache_hits} cached, "
-            f"{self.executed} executed), {len(self.failures)} failed "
-            f"in {self.elapsed_s:.1f} s"
+            f"{self.executed} executed{coalesced}), "
+            f"{len(self.failures)} failed in {self.elapsed_s:.1f} s"
         )
 
 
@@ -188,6 +199,7 @@ class JobScheduler:
         backoff_s: float = DEFAULT_BACKOFF_S,
         mp_start_method: Optional[str] = None,
         worker_initializer: Optional[Any] = None,
+        single_flight: bool = True,
     ) -> None:
         self.store = store
         self.journal = journal
@@ -197,9 +209,13 @@ class JobScheduler:
         self.backoff_s = backoff_s
         self.mp_start_method = mp_start_method
         self.worker_initializer = worker_initializer
+        self.single_flight = single_flight
         # queued_at[key] = perf_counter at submission; lets completion
         # spans cover the full queue→start→done lifecycle.
         self._queued_at: Dict[str, float] = {}
+        # Keys this run leads in the process-wide single-flight group;
+        # each must be published exactly once (outcome or abort).
+        self._claimed: set = set()
 
     # -- journal helper ---------------------------------------------------
 
@@ -253,10 +269,37 @@ class JobScheduler:
                 self._log("submitted", key=spec.key, name=spec.name)
 
         if pending:
-            if self.serial:
-                self._run_serial(pending, report)
+            leaders: List[JobSpec] = []
+            followers: List[Tuple[JobSpec, Flight]] = []
+            if self.single_flight:
+                for spec in pending:
+                    flight = _SINGLE_FLIGHT.claim(spec.key)
+                    if flight is None:
+                        self._claimed.add(spec.key)
+                        leaders.append(spec)
+                    else:
+                        followers.append((spec, flight))
+                        self._log("coalesced", key=spec.key, name=spec.name)
+                        tracer.instant(
+                            "scheduler.coalesced", cat="scheduler", job=spec.name
+                        )
             else:
-                self._run_pool(pending, report)
+                leaders = list(pending)
+            try:
+                if leaders:
+                    if self.serial:
+                        self._run_serial(leaders, report)
+                    else:
+                        self._run_pool(leaders, report)
+            finally:
+                # A leader key still claimed here means we aborted before
+                # recording an outcome (interrupt, internal error): wake
+                # followers with an abort signal so they re-claim instead
+                # of hanging on a flight nobody will resolve.
+                for key in list(self._claimed):
+                    _SINGLE_FLIGHT.publish(key, None)
+                    self._claimed.discard(key)
+            self._resolve_followers(followers, report)
 
         report.elapsed_s = time.perf_counter() - t0
         self._log(
@@ -273,6 +316,45 @@ class JobScheduler:
             executed=report.executed, failed=len(report.failures),
         )
         return report
+
+    # -- single-flight ----------------------------------------------------
+
+    def _publish(self, key: str, outcome: Any) -> None:
+        """Resolve our single-flight claim on ``key`` (idempotent)."""
+        if key in self._claimed:
+            _SINGLE_FLIGHT.publish(key, outcome)
+            self._claimed.discard(key)
+
+    def _resolve_followers(
+        self,
+        followers: Sequence[Tuple[JobSpec, Flight]],
+        report: SweepReport,
+    ) -> None:
+        """Adopt each concurrent leader's outcome (or run ourselves if it
+        aborted without one)."""
+        from dataclasses import replace
+
+        for spec, flight in followers:
+            while True:
+                outcome = flight.wait()
+                if isinstance(outcome, JobResult):
+                    report.results[spec.key] = replace(outcome, coalesced=True)
+                    report.coalesced += 1
+                    break
+                if isinstance(outcome, JobFailure):
+                    report.failures[spec.key] = outcome
+                    report.coalesced += 1
+                    break
+                # Leader aborted: try to take over; if yet another thread
+                # beat us to the claim, wait on its flight instead.
+                flight = _SINGLE_FLIGHT.claim(spec.key)
+                if flight is None:
+                    self._claimed.add(spec.key)
+                    try:
+                        self._run_serial([spec], report)
+                    finally:
+                        self._publish(spec.key, None)
+                    break
 
     # -- shared bookkeeping -----------------------------------------------
 
@@ -292,6 +374,9 @@ class JobScheduler:
         report.executed += 1
         if self.store is not None:
             self.store.put(spec, result.payload, elapsed_s=result.elapsed_s)
+        # Store write precedes the publish: a woken follower (or anyone
+        # racing the cache) already sees the persisted record.
+        self._publish(spec.key, result)
         self._log(
             "completed",
             key=spec.key,
@@ -334,6 +419,7 @@ class JobScheduler:
             attempts=attempts,
         )
         report.failures[spec.key] = failure
+        self._publish(spec.key, failure)
         self._log(
             "failed",
             key=spec.key,

@@ -1,0 +1,92 @@
+"""Single-flight execution groups: coalesce concurrent identical jobs.
+
+The :class:`~repro.service.store.ResultStore` already dedupes *sequential*
+submissions — the second run of a spec is a cache hit. But two identical
+submissions racing *before the first result lands* (two API clients, two
+``repro batch`` invocations in threads) would both execute. A
+:class:`SingleFlight` group closes that window: the first claimant of a
+content key becomes the **leader** and executes; everyone else becomes a
+**follower**, blocks on the leader's flight, and shares its outcome
+without running anything.
+
+The protocol is deliberately crash-safe: a leader that aborts without
+publishing (``KeyboardInterrupt``, a scheduler bug) publishes ``None``
+from its ``finally`` block, which tells followers to re-claim the key and
+execute themselves rather than hang forever.
+
+Scope: one process. Cross-process dedupe remains the store's job (an
+atomically-written record is visible the moment it lands); single-flight
+covers the in-process concurrency the HTTP service and threaded batch
+runs create.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional
+
+
+class Flight:
+    """One in-progress execution of a content key.
+
+    Followers hold a reference (handed out by :meth:`SingleFlight.claim`)
+    and block in :meth:`wait`; the leader resolves it exactly once via
+    :meth:`SingleFlight.publish`.
+    """
+
+    __slots__ = ("outcome", "_done")
+
+    def __init__(self) -> None:
+        self.outcome: Optional[Any] = None
+        self._done = threading.Event()
+
+    def wait(self, timeout: Optional[float] = None) -> Optional[Any]:
+        """Block until the leader publishes; ``None`` means it aborted
+        (or ``timeout`` elapsed) and the caller should claim + execute."""
+        self._done.wait(timeout)
+        return self.outcome
+
+    def _resolve(self, outcome: Optional[Any]) -> None:
+        self.outcome = outcome
+        self._done.set()
+
+
+class SingleFlight:
+    """Registry of in-flight executions keyed by content key."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: Dict[str, Flight] = {}
+
+    def claim(self, key: str) -> Optional[Flight]:
+        """Try to become the leader for ``key``.
+
+        Returns ``None`` when the caller is now the leader (it **must**
+        eventually :meth:`publish`, even on failure), or the existing
+        :class:`Flight` to wait on when someone else already leads.
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is not None:
+                return flight
+            self._flights[key] = Flight()
+            return None
+
+    def publish(self, key: str, outcome: Optional[Any]) -> None:
+        """Resolve ``key``'s flight and wake every follower.
+
+        ``outcome=None`` signals an aborted execution: followers retry
+        via :meth:`claim` instead of consuming a result.
+        """
+        with self._lock:
+            flight = self._flights.pop(key, None)
+        if flight is not None:
+            flight._resolve(outcome)
+
+    def in_flight(self, key: str) -> bool:
+        with self._lock:
+            return key in self._flights
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._flights)

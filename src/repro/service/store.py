@@ -215,3 +215,32 @@ class ResultStore:
             if record.get("fingerprint") != self.fingerprint:
                 stale += 1
         return StoreStats(entries=entries, stale_entries=stale, total_bytes=total)
+
+
+def store_stats_payload(
+    store: ResultStore, journal_path: Optional[Union[str, Path]] = None
+) -> Dict[str, Any]:
+    """Machine-readable cache/journal stats.
+
+    One JSON-ready dict shared by ``repro cache --json`` and the HTTP
+    service's ``GET /admin/cache`` endpoint, so scripts and dashboards
+    read the same shape from both.
+    """
+    from repro.service.journal import JobJournal
+
+    stats = store.stats()
+    payload: Dict[str, Any] = {
+        "cache_dir": str(store.root),
+        "fingerprint": store.fingerprint,
+        "entries": stats.entries,
+        "stale_entries": stats.stale_entries,
+        "total_bytes": stats.total_bytes,
+    }
+    if journal_path is None:
+        journal_path = store.root / "journal.jsonl"
+    counts = JobJournal.summary(journal_path)
+    payload["journal"] = {
+        "path": str(journal_path),
+        "events": dict(sorted(counts.items())),
+    }
+    return payload

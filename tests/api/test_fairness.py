@@ -1,0 +1,178 @@
+"""FairQueue: stride weights, aging, quotas, drain — frozen clock."""
+
+import pytest
+
+from repro.api.fairness import FairQueue, QuotaExceeded, TenantPolicy
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_queue(aging_rate=0.0, **policies):
+    clock = FakeClock()
+    queue = FairQueue(
+        policies={k: v for k, v in policies.items()},
+        aging_rate=aging_rate,
+        clock=clock,
+    )
+    return queue, clock
+
+
+class TestBasics:
+    def test_fifo_within_one_tenant(self):
+        queue, _ = make_queue()
+        for i in range(3):
+            queue.submit("a", i)
+        assert [queue.pop()[1] for _ in range(3)] == [0, 1, 2]
+        assert queue.pop() is None
+
+    def test_len_counts_all_tenants(self):
+        queue, _ = make_queue()
+        queue.submit("a", 1)
+        queue.submit("b", 2)
+        assert len(queue) == 2
+
+    def test_deterministic_tie_break_on_name(self):
+        queue, _ = make_queue()
+        queue.submit("zed", "z")
+        queue.submit("abe", "a")
+        # Equal vtime (both fresh) → lexicographically first tenant wins.
+        assert queue.pop()[0] == "abe"
+
+
+class TestWeights:
+    def test_weighted_share_is_proportional(self):
+        queue, _ = make_queue(
+            heavy=TenantPolicy(weight=2.0, max_queued=100),
+            light=TenantPolicy(weight=1.0, max_queued=100),
+        )
+        for i in range(30):
+            queue.submit("heavy", i)
+            queue.submit("light", i)
+        first_12 = [queue.pop()[0] for _ in range(12)]
+        # Stride scheduling: over any window the 2:1 weights yield a 2:1
+        # service ratio (8 heavy, 4 light in 12 dispatches).
+        assert first_12.count("heavy") == 8
+        assert first_12.count("light") == 4
+
+    def test_reactivating_tenant_joins_at_service_front(self):
+        queue, _ = make_queue()
+        for i in range(10):
+            queue.submit("busy", i)
+        for _ in range(10):
+            queue.pop()
+        # "idle" never queued while busy accumulated vtime; when it joins
+        # it must not get a 10-dispatch catch-up burst — it starts at the
+        # current front and alternates fairly.
+        for i in range(4):
+            queue.submit("busy", f"b{i}")
+            queue.submit("idle", f"i{i}")
+        first_4 = [queue.pop()[0] for _ in range(4)]
+        assert first_4.count("idle") == 2
+        assert first_4.count("busy") == 2
+
+
+class TestAging:
+    def test_waiting_head_gains_priority(self):
+        queue, clock = make_queue(
+            aging_rate=0.5,
+            flood=TenantPolicy(weight=10.0, max_queued=1000),
+            meek=TenantPolicy(weight=0.1, max_queued=10),
+        )
+        queue.submit("meek", "m")
+        for i in range(50):
+            queue.submit("flood", i)
+        # Without aging the weight-0.1 tenant would wait ~100 dispatches;
+        # after 30 wall-seconds its head has 15 vtime of credit and wins.
+        assert queue.pop()[0] in ("flood", "meek")
+        clock.now += 30.0
+        winners = [queue.pop()[0] for _ in range(3)]
+        assert "meek" in winners
+
+    def test_no_aging_with_zero_rate(self):
+        queue, clock = make_queue(
+            aging_rate=0.0,
+            flood=TenantPolicy(weight=10.0, max_queued=1000),
+            meek=TenantPolicy(weight=0.1, max_queued=10),
+        )
+        queue.submit("meek", "m1")
+        queue.submit("meek", "m2")
+        for i in range(20):
+            queue.submit("flood", i)
+        clock.now += 1000.0  # wall time alone earns no credit
+        winners = [queue.pop()[0] for _ in range(21)]
+        # One meek dispatch costs 10 vtime (weight 0.1); with zero aging
+        # its second item waits out the entire flood backlog.
+        assert winners.count("meek") == 1
+
+
+class TestQuotas:
+    def test_max_queued_raises_and_drops_item(self):
+        queue, _ = make_queue(a=TenantPolicy(max_queued=2))
+        queue.submit("a", 1)
+        queue.submit("a", 2)
+        with pytest.raises(QuotaExceeded) as exc:
+            queue.submit("a", 3)
+        assert exc.value.tenant == "a" and exc.value.limit == 2
+        assert len(queue) == 2  # the rejected item was not queued
+        assert queue.stats()["a"]["rejected"] == 1
+
+    def test_capacity_for_tracks_backlog(self):
+        queue, _ = make_queue(a=TenantPolicy(max_queued=3))
+        assert queue.capacity_for("a") == 3
+        queue.submit("a", 1)
+        assert queue.capacity_for("a") == 2
+
+    def test_max_running_cap_skips_tenant(self):
+        queue, _ = make_queue(
+            capped=TenantPolicy(max_running=1),
+            free=TenantPolicy(),
+        )
+        queue.submit("capped", "c")
+        queue.submit("free", "f")
+        tenant, item = queue.pop({"capped": 1})
+        assert tenant == "free"
+        # Once the cap frees up, the capped tenant is runnable again.
+        tenant, item = queue.pop({"capped": 0})
+        assert tenant == "capped"
+
+    def test_all_capped_pops_none(self):
+        queue, _ = make_queue(capped=TenantPolicy(max_running=1))
+        queue.submit("capped", "c")
+        assert queue.pop({"capped": 1}) is None
+
+
+class TestPolicyValidation:
+    def test_bad_weight_rejected(self):
+        with pytest.raises(ValueError):
+            TenantPolicy(weight=0.0)
+
+    def test_bad_quota_rejected(self):
+        with pytest.raises(ValueError):
+            TenantPolicy(max_queued=0)
+
+
+class TestDrainAndStats:
+    def test_drain_empties_everything(self):
+        queue, _ = make_queue()
+        queue.submit("b", 1)
+        queue.submit("a", 2)
+        queue.submit("a", 3)
+        drained = queue.drain()
+        assert drained == [("a", 2), ("a", 3), ("b", 1)]
+        assert len(queue) == 0
+
+    def test_stats_shape(self):
+        queue, _ = make_queue(a=TenantPolicy(weight=2.0))
+        queue.submit("a", 1)
+        queue.pop()
+        stats = queue.stats()
+        assert stats["a"]["weight"] == 2.0
+        assert stats["a"]["submitted"] == 1
+        assert stats["a"]["dispatched"] == 1
+        assert stats["a"]["queued"] == 0

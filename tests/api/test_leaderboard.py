@@ -1,0 +1,138 @@
+"""Leaderboard: speedup vs baseline, determinism, staleness, filters."""
+
+import json
+import math
+
+from repro.api.leaderboard import BASELINE_POLICY, build_leaderboard
+from repro.service.handlers import simulation_spec
+from repro.service.store import ResultStore
+
+
+def _result(runtime_s, energy_j=100.0, peak_c=80.0, warnings=0):
+    return {
+        "runtime_s": runtime_s,
+        "total_energy_j": energy_j,
+        "peak_dram_temp_c": peak_c,
+        "avg_pim_rate_ops_ns": 0.5,
+        "thermal_warnings": warnings,
+        "shutdowns": 0,
+    }
+
+
+def _put(store, policy, runtime_s, workload="pagerank", dataset="ldbc-tiny",
+         cooling="commodity", seed=0, **kw):
+    spec = simulation_spec(
+        workload=workload, dataset=dataset, policy=policy, cooling=cooling,
+        seed=seed,
+    )
+    store.put(spec, {"result": _result(runtime_s, **kw)}, elapsed_s=1.0)
+
+
+class TestRanking:
+    def test_speedup_vs_baseline_and_ranks(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _put(store, BASELINE_POLICY, 10.0)
+        _put(store, "coolpim-hw", 5.0)       # 2.0x
+        _put(store, "naive-offloading", 8.0)  # 1.25x
+        board = build_leaderboard(store)
+        by_policy = {e["policy"]: e for e in board["policies"]}
+        assert by_policy["coolpim-hw"]["rank"] == 1
+        assert by_policy["coolpim-hw"]["geomean_speedup"] == 2.0
+        assert by_policy["naive-offloading"]["geomean_speedup"] == 1.25
+        assert by_policy[BASELINE_POLICY]["geomean_speedup"] == 1.0
+        assert board["scenarios"] == 1
+
+    def test_geomean_across_scenarios(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for workload, base, fast in [("pagerank", 10.0, 5.0),
+                                     ("kcore", 8.0, 1.0)]:
+            _put(store, BASELINE_POLICY, base, workload=workload)
+            _put(store, "coolpim-hw", fast, workload=workload)
+        board = build_leaderboard(store)
+        row = next(
+            e for e in board["policies"] if e["policy"] == "coolpim-hw"
+        )
+        assert row["compared_scenarios"] == 2
+        assert math.isclose(row["geomean_speedup"], math.sqrt(2.0 * 8.0))
+
+    def test_policy_without_baseline_ranks_last(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _put(store, BASELINE_POLICY, 10.0, workload="pagerank")
+        _put(store, "coolpim-hw", 5.0, workload="pagerank")
+        # kcore has no baseline run: coolpim-sw can't be compared.
+        _put(store, "coolpim-sw", 1.0, workload="kcore")
+        board = build_leaderboard(store)
+        ranked = [e["policy"] for e in board["policies"]]
+        assert ranked[-1] == "coolpim-sw"
+        row = board["policies"][-1]
+        assert row["geomean_speedup"] is None
+        assert row["scenarios"] == 1  # still counted/aggregated
+
+    def test_thermal_and_energy_aggregates(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _put(store, BASELINE_POLICY, 10.0, energy_j=200.0)
+        _put(store, "coolpim-hw", 5.0, energy_j=100.0, peak_c=84.5,
+             warnings=3)
+        board = build_leaderboard(store)
+        row = next(
+            e for e in board["policies"] if e["policy"] == "coolpim-hw"
+        )
+        assert row["mean_energy_ratio"] == 0.5
+        assert row["max_peak_temp_c"] == 84.5
+        assert row["thermal_warnings"] == 3
+
+
+class TestDeterminism:
+    def test_identical_json_across_builds(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for seed in (0, 1, 2):
+            _put(store, BASELINE_POLICY, 10.0, seed=seed)
+            _put(store, "coolpim-hw", 6.0, seed=seed)
+            _put(store, "coolpim-sw", 7.0, seed=seed)
+        a = json.dumps(build_leaderboard(store), sort_keys=True)
+        b = json.dumps(
+            build_leaderboard(ResultStore(tmp_path)), sort_keys=True
+        )
+        assert a == b
+
+    def test_distinct_seeds_are_distinct_scenarios(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _put(store, BASELINE_POLICY, 10.0, seed=0)
+        _put(store, BASELINE_POLICY, 10.0, seed=1)
+        assert build_leaderboard(store)["scenarios"] == 2
+
+
+class TestSelection:
+    def test_stale_records_excluded_by_default(self, tmp_path):
+        old = ResultStore(tmp_path, fingerprint="old-code")
+        _put(old, BASELINE_POLICY, 10.0)
+        _put(old, "coolpim-hw", 5.0)
+        current = ResultStore(tmp_path)
+        assert build_leaderboard(current)["policies"] == []
+        stale_board = build_leaderboard(current, include_stale=True)
+        assert len(stale_board["policies"]) == 2
+
+    def test_filters_restrict_suite(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _put(store, BASELINE_POLICY, 10.0, workload="pagerank")
+        _put(store, "coolpim-hw", 5.0, workload="pagerank")
+        _put(store, BASELINE_POLICY, 4.0, workload="kcore")
+        _put(store, "coolpim-hw", 1.0, workload="kcore")
+        board = build_leaderboard(store, workload="kcore")
+        assert board["scenarios"] == 1
+        row = next(
+            e for e in board["policies"] if e["policy"] == "coolpim-hw"
+        )
+        assert row["geomean_speedup"] == 4.0
+        assert board["filters"]["workload"] == "kcore"
+
+    def test_non_simulation_records_ignored(self, tmp_path):
+        from repro.service.jobs import JobSpec
+
+        store = ResultStore(tmp_path)
+        store.put(
+            JobSpec(kind="experiment", name="fig5", params={}),
+            {"text": "..."},
+        )
+        board = build_leaderboard(store)
+        assert board["scenarios"] == 0 and board["policies"] == []

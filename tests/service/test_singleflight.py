@@ -1,0 +1,133 @@
+"""Single-flight groups: leader/follower protocol and scheduler coalescing."""
+
+import threading
+import time
+
+from repro.service.jobs import JobSpec, register_handler, unregister_handler
+from repro.service.scheduler import JobScheduler
+from repro.service.singleflight import SingleFlight
+from repro.service.store import ResultStore
+
+
+class TestSingleFlight:
+    def test_first_claim_leads_second_follows(self):
+        group = SingleFlight()
+        assert group.claim("k") is None  # leader
+        flight = group.claim("k")
+        assert flight is not None  # follower
+        assert group.in_flight("k")
+        group.publish("k", "outcome")
+        assert flight.wait(timeout=1.0) == "outcome"
+        assert not group.in_flight("k")
+
+    def test_key_reclaimable_after_publish(self):
+        group = SingleFlight()
+        assert group.claim("k") is None
+        group.publish("k", "first")
+        assert group.claim("k") is None  # fresh flight, new leader
+        assert len(group) == 1
+
+    def test_abort_publishes_none_and_follower_retries(self):
+        group = SingleFlight()
+        assert group.claim("k") is None
+        flight = group.claim("k")
+        group.publish("k", None)  # leader aborted without an outcome
+        assert flight.wait(timeout=1.0) is None
+        assert group.claim("k") is None  # follower takes over as leader
+
+    def test_publish_without_claim_is_noop(self):
+        group = SingleFlight()
+        group.publish("never-claimed", "x")
+        assert len(group) == 0
+
+    def test_concurrent_claims_elect_one_leader(self):
+        group = SingleFlight()
+        outcomes = []
+        barrier = threading.Barrier(8)
+
+        def contend():
+            barrier.wait()
+            flight = group.claim("k")
+            if flight is None:
+                time.sleep(0.01)
+                group.publish("k", "done")
+                outcomes.append("led")
+            else:
+                outcomes.append(flight.wait(timeout=5.0))
+
+        threads = [threading.Thread(target=contend) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10.0)
+        assert outcomes.count("led") == 1
+        assert outcomes.count("done") == 7
+
+
+def _slow_spec(n: int = 1) -> JobSpec:
+    return JobSpec(kind="sf-slow", name="slow", params={"n": n})
+
+
+class TestSchedulerCoalescing:
+    """Two racing schedulers on one spec: exactly one execution."""
+
+    def setup_method(self):
+        self.calls = []
+        self.release = threading.Event()
+        self.started = threading.Event()
+
+        def handler(spec):
+            self.started.set()
+            self.calls.append(spec.key)
+            assert self.release.wait(10.0)
+            return {"n": spec.params["n"]}
+
+        register_handler("sf-slow", handler)
+
+    def teardown_method(self):
+        self.release.set()
+        unregister_handler("sf-slow")
+
+    def test_racing_schedulers_execute_once(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        spec = _slow_spec()
+        reports = {}
+
+        def run(tag):
+            scheduler = JobScheduler(store=store, serial=True)
+            reports[tag] = scheduler.run([spec])
+
+        first = threading.Thread(target=run, args=("first",))
+        first.start()
+        assert self.started.wait(5.0)  # leader is inside the handler
+        second = threading.Thread(target=run, args=("second",))
+        second.start()
+        time.sleep(0.05)  # let the second scheduler reach its claim
+        self.release.set()
+        first.join(10.0)
+        second.join(10.0)
+
+        assert len(self.calls) == 1  # the handler ran exactly once
+        r1 = reports["first"].results[spec.key]
+        r2 = reports["second"].results[spec.key]
+        assert r1.payload == r2.payload == {"n": 1}
+        # Exactly one of the two runs coalesced onto the other (which one
+        # depends on whether the store write or the claim raced ahead).
+        assert sorted([r1.coalesced, r2.coalesced]) == [False, True]
+        coalesced_report = (
+            reports["second"] if r2.coalesced else reports["first"]
+        )
+        assert coalesced_report.coalesced == 1
+
+    def test_single_flight_disabled_runs_both(self, tmp_path):
+        self.release.set()  # no blocking needed here
+        store = ResultStore(tmp_path / "cache")
+        spec = _slow_spec(2)
+        # use_cache=False so the second run can't dedupe via the store
+        s1 = JobScheduler(store=store, serial=True, use_cache=False,
+                          single_flight=False)
+        s2 = JobScheduler(store=store, serial=True, use_cache=False,
+                          single_flight=False)
+        s1.run([spec])
+        s2.run([spec])
+        assert len(self.calls) == 2

@@ -65,6 +65,29 @@ class TestParser:
         assert args.file == "t.json"
         assert args.require == "engine,core" and args.diff == "b.json"
 
+    def test_cache_json_flag(self):
+        args = build_parser().parse_args(["cache", "--json"])
+        assert args.json and args.action == "stats"
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1" and args.port == 8177
+        assert args.workers == 2 and not args.pool and not args.no_cache
+        assert args.tenant_quota == 64
+        assert args.journal_max_bytes == 8_000_000
+        assert args.drain_timeout == 10.0
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--workers", "4", "--pool",
+             "--cache-dir", "/tmp/c", "--tenant-quota", "8",
+             "--drain-timeout", "2.5"]
+        )
+        assert args.port == 0 and args.workers == 4 and args.pool
+        assert args.cache_dir == "/tmp/c" and args.tenant_quota == 8
+        assert args.drain_timeout == 2.5
+
     def test_command_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -126,6 +149,23 @@ class TestBatchDispatch:
         assert "tables" in capsys.readouterr().out
         assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
         assert "removed 1" in capsys.readouterr().out
+
+    def test_cache_json_machine_readable(self, tmp_path, capsys):
+        import json
+
+        main(["batch", "--quick", "--only", "tables", "--jobs", "1",
+              "--cache-dir", str(tmp_path)])
+        capsys.readouterr()
+        assert main(["cache", "--json", "--cache-dir", str(tmp_path)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["entries"] == 1
+        assert doc["cache_dir"] == str(tmp_path)
+        assert doc["journal"]["events"]["completed"] == 1
+
+    def test_cache_json_only_valid_for_stats(self, tmp_path, capsys):
+        assert main(["cache", "clear", "--json",
+                     "--cache-dir", str(tmp_path)]) == 2
+        assert "--json" in capsys.readouterr().err
 
 
 class TestTraceDispatch:
