@@ -1,0 +1,55 @@
+"""Open-loop scripted agent: a throttle schedule, no feedback."""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Optional, Tuple
+
+from repro.agents.base import ACTION_NONE, Action, Agent, Observation
+
+
+class ScriptedAgent(Agent):
+    """Replay a piecewise-constant ``(t_s, fraction)`` schedule.
+
+    Useful as a deterministic probe (e.g. replaying a recorded SW-DynT
+    trajectory open-loop to separate feedback value from trajectory
+    value) and as the simplest non-policy agent for harness tests.
+
+    Purity hints are exact: the fraction only changes at breakpoints,
+    so ``fraction_horizon`` is the next breakpoint and warnings are
+    no-ops forever — the macro engine keeps full burst speed.
+    """
+
+    name = "scripted"
+
+    def __init__(
+        self,
+        schedule: Iterable[Tuple[float, float]],
+        name: Optional[str] = None,
+    ) -> None:
+        points = sorted((float(t), float(f)) for t, f in schedule)
+        if not points or points[0][0] > 0.0:
+            points.insert(0, (0.0, 1.0))
+        for t, f in points:
+            if not 0.0 <= f <= 1.0:
+                raise ValueError(f"fraction must be in [0,1], got {f} at t={t}")
+        self._times = tuple(t for t, _ in points)
+        self._fractions = tuple(f for _, f in points)
+        if name is not None:
+            self.name = name
+
+    def _fraction_at(self, now_s: float) -> float:
+        i = bisect.bisect_right(self._times, now_s) - 1
+        return self._fractions[max(i, 0)]
+
+    def observe(self, obs: Observation) -> Action:
+        if obs.kind != "step":
+            return ACTION_NONE
+        return Action(fraction=self._fraction_at(obs.now_s))
+
+    def fraction_horizon(self, now_s: float) -> float:
+        i = bisect.bisect_right(self._times, now_s)
+        return self._times[i] if i < len(self._times) else float("inf")
+
+    def warning_noop_until(self, now_s: float, temp_c=None) -> float:
+        return float("inf")

@@ -6,8 +6,9 @@ base policies (non-offloading, naïve), the paper's SW-DynT/HW-DynT, the
 ideal-thermal bound, and any variant registered later — across the
 scenario suite the cache has accumulated.
 
-A **scenario** is one (workload, dataset, cooling, seed, workload_scale)
-tuple; within a scenario, policies are compared against that scenario's
+A **scenario** is one (workload, dataset, cooling, seed, workload_scale,
+injection scenario, injection seed) tuple — fault-injected runs rank in
+their own group; within a scenario, policies are compared against that scenario's
 ``non-offloading`` baseline (the Fig. 10 speedup convention). A policy's
 headline number is the geometric mean of its per-scenario speedups —
 only over scenarios where the baseline exists, so partial caches never
@@ -30,7 +31,7 @@ LEADERBOARD_SCHEMA_ID = "repro.leaderboard/1"
 #: Baseline policy every speedup is measured against.
 BASELINE_POLICY = "non-offloading"
 
-ScenarioKey = Tuple[str, str, str, int, float]
+ScenarioKey = Tuple[str, str, str, int, float, str, int]
 
 
 def _scenario_key(params: Dict[str, Any], seed: int) -> ScenarioKey:
@@ -40,6 +41,10 @@ def _scenario_key(params: Dict[str, Any], seed: int) -> ScenarioKey:
         str(params.get("cooling", "commodity")),
         int(seed),
         float(params.get("workload_scale", 1.0)),
+        # Fault-injected runs (repro.scenarios) rank only against
+        # baselines from the same injected stream, never clean runs.
+        str(params.get("scenario", "")),
+        int(params.get("scenario_seed", 0)),
     )
 
 

@@ -34,11 +34,12 @@ DEFAULT_TENANT = "public"
 
 _RUN_FIELDS = {
     "workload", "dataset", "policy", "cooling", "seed", "workload_scale",
-    "engine", "trace", "timeout_s", "tenant",
+    "engine", "trace", "scenario", "scenario_seed", "timeout_s", "tenant",
 }
 _SWEEP_FIELDS = {
     "workloads", "datasets", "policies", "cooling", "seed",
-    "workload_scale", "engine", "trace", "timeout_s", "tenant",
+    "workload_scale", "engine", "trace", "scenario", "scenario_seed",
+    "timeout_s", "tenant",
 }
 _CUSTOM_FIELDS = {"kind", "name", "params", "seed", "timeout_s", "tenant"}
 _CUSTOM_SWEEP_FIELDS = {"kind", "items", "tenant"}
@@ -145,6 +146,52 @@ def _registries():
     )
 
 
+def _policy(value: Any, policies) -> str:
+    """Policy names: the registry enums plus the ``static-<fraction>``
+    open-loop family (``static-0.25``-style), which no fixed enum can
+    enumerate."""
+    from repro.core.policies import is_policy_name
+
+    if not isinstance(value, str) or not is_policy_name(value):
+        raise ValidationError(
+            f"policy must be one of {sorted(policies)} or "
+            f"static-<fraction> (e.g. static-0.25), got {value!r}",
+            field="policy",
+        )
+    return value
+
+
+def _scenario(body: Mapping[str, Any]) -> tuple:
+    """Validate the optional fault-injection fields.
+
+    Returns ``(scenario_name_or_None, scenario_seed)``; a seed without a
+    scenario is rejected (it would silently not select anything).
+    """
+    from repro.scenarios import SCENARIO_NAMES, is_scenario_name
+
+    name = body.get("scenario")
+    seed = body.get("scenario_seed", 0)
+    if isinstance(seed, bool) or not isinstance(seed, int) or not (
+        0 <= seed < 2**31
+    ):
+        raise ValidationError(
+            f"scenario_seed must be an integer in [0, 2^31), got {seed!r}",
+            field="scenario_seed",
+        )
+    if name is None:
+        if seed != 0:
+            raise ValidationError(
+                "scenario_seed requires a scenario", field="scenario_seed"
+            )
+        return None, 0
+    if not isinstance(name, str) or not is_scenario_name(name):
+        raise ValidationError(
+            f"scenario must be one of {sorted(SCENARIO_NAMES)}, got {name!r}",
+            field="scenario",
+        )
+    return name, seed
+
+
 def _custom_spec(
     body: Mapping[str, Any], allow_kinds: FrozenSet[str]
 ) -> JobSpec:
@@ -188,15 +235,18 @@ def validate_run_request(
     _reject_unknown(body, frozenset(fields))
     if "workload" not in body:
         raise ValidationError("workload is required", field="workload")
+    scenario, scenario_seed = _scenario(body)
     return simulation_spec(
         workload=_choice(body, "workload", workloads, ""),
         dataset=_choice(body, "dataset", datasets, "ldbc"),
-        policy=_choice(body, "policy", policies, "coolpim-hw"),
+        policy=_policy(body.get("policy", "coolpim-hw"), policies),
         cooling=_choice(body, "cooling", coolings, "commodity"),
         seed=_seed(body),
         workload_scale=_workload_scale(body),
         engine=_choice(body, "engine", _ENGINES, "macro"),
         trace=_trace(body),
+        scenario=scenario,
+        scenario_seed=scenario_seed,
         timeout_s=_timeout(body),
     )
 
@@ -263,12 +313,19 @@ def validate_sweep_request(
         raise ValidationError("workloads is required", field="workloads")
     wl = _listing("workloads", workloads, [])
     ds = _listing("datasets", datasets, ["ldbc"])
-    pol = _listing("policies", policies, list(policies))
+    pol = body.get("policies", list(policies))
+    if not isinstance(pol, list) or not pol:
+        raise ValidationError("policies must be a non-empty list",
+                              field="policies")
+    pol = [_policy(p, policies) for p in pol]
+    if len(set(pol)) != len(pol):
+        raise ValidationError("policies contains duplicates", field="policies")
     cooling = _choice(body, "cooling", coolings, "commodity")
     seed = _seed(body)
     scale = _workload_scale(body)
     engine = _choice(body, "engine", _ENGINES, "macro")
     trace = _trace(body)
+    scenario, scenario_seed = _scenario(body)
     timeout_s = _timeout(body)
 
     total = len(wl) * len(ds) * len(pol)
@@ -280,6 +337,7 @@ def validate_sweep_request(
         simulation_spec(
             workload=w, dataset=d, policy=p, cooling=cooling, seed=seed,
             workload_scale=scale, engine=engine, trace=trace,
+            scenario=scenario, scenario_seed=scenario_seed,
             timeout_s=timeout_s,
         )
         for w in wl

@@ -36,8 +36,9 @@ import sys
 from typing import Optional
 
 from repro.core.coolpim import CoolPimSystem
-from repro.core.policies import POLICY_NAMES
+from repro.core.policies import POLICY_NAMES, is_policy_name
 from repro.graph.datasets import get_dataset, list_datasets
+from repro.scenarios import SCENARIO_NAMES
 from repro.thermal.cooling import COOLING_SOLUTIONS
 from repro.workloads.registry import get_workload, list_workloads
 
@@ -47,6 +48,26 @@ def _build_system(args) -> CoolPimSystem:
         cooling=COOLING_SOLUTIONS[args.cooling],
         engine=getattr(args, "engine", "macro"),
     )
+
+
+def _policy_name(value: str) -> str:
+    """argparse type for --policy: registry names plus static-<fraction>."""
+    if not is_policy_name(value):
+        raise argparse.ArgumentTypeError(
+            f"unknown policy {value!r}; choose from {', '.join(POLICY_NAMES)} "
+            "or static-<fraction> (e.g. static-0.25)"
+        )
+    return value
+
+
+def _scenario_from(args):
+    """Compile the --scenario/--scenario-seed flags (None when unset)."""
+    name = getattr(args, "scenario", None)
+    if not name:
+        return None
+    from repro.scenarios import make_scenario
+
+    return make_scenario(name, seed=getattr(args, "scenario_seed", 0))
 
 
 def _result_line(res) -> str:
@@ -67,8 +88,9 @@ def _result_line(res) -> str:
 def cmd_list(_args) -> int:
     print("workloads:", ", ".join(list_workloads(include_extras=True)))
     print("datasets: ", ", ".join(list_datasets()))
-    print("policies: ", ", ".join(POLICY_NAMES))
+    print("policies: ", ", ".join(POLICY_NAMES) + ", static-<fraction>")
     print("cooling:  ", ", ".join(COOLING_SOLUTIONS))
+    print("scenarios:", ", ".join(SCENARIO_NAMES))
     return 0
 
 
@@ -76,15 +98,20 @@ def cmd_run(args) -> int:
     system = _build_system(args)
     graph = get_dataset(args.dataset)
     workload = get_workload(args.workload, seed=args.seed)
-    res = system.run(workload, graph, args.policy)
+    scenario = _scenario_from(args)
+    res = system.run(workload, graph, args.policy, scenario=scenario)
     if args.json:
         import json
 
         print(json.dumps(res.to_dict(), indent=2))
         return 0
+    injected = (
+        f", scenario {scenario.name} (seed {scenario.seed})"
+        if scenario is not None else ""
+    )
     print(f"{args.workload} on {args.dataset} "
           f"({graph.num_vertices:,} vertices, {graph.num_edges:,} edges) "
-          f"under {args.policy}, {args.cooling} cooling")
+          f"under {args.policy}, {args.cooling} cooling{injected}")
     print(_result_line(res))
     return 0
 
@@ -93,9 +120,14 @@ def cmd_compare(args) -> int:
     system = _build_system(args)
     graph = get_dataset(args.dataset)
     workload = get_workload(args.workload, seed=args.seed)
+    scenario = _scenario_from(args)
+    injected = (
+        f", scenario {scenario.name} (seed {scenario.seed})"
+        if scenario is not None else ""
+    )
     print(f"{args.workload} on {args.dataset} under all policies "
-          f"({args.cooling} cooling)\n")
-    results = system.run_all_policies(workload, graph)
+          f"({args.cooling} cooling{injected})\n")
+    results = system.run_all_policies(workload, graph, scenario=scenario)
     base = results["non-offloading"]
     print(f"{'policy':18s} {'speedup':>8s} {'peak T':>7s} {'op/ns':>6s} "
           f"{'energy':>7s}")
@@ -271,6 +303,8 @@ def cmd_trace(args) -> int:
         cooling=args.cooling,
         seed=args.seed,
         workload_scale=0.25 if args.quick else 1.0,
+        scenario=getattr(args, "scenario", None),
+        scenario_seed=getattr(args, "scenario_seed", 0),
     )
     wall0 = time.perf_counter()
     with tracing(sink=args.jsonl) as tracer:
@@ -417,11 +451,18 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["macro", "stepped"],
                        help="simulation engine (macro: vectorized burst "
                             "fast path; stepped: scalar reference loop)")
+        p.add_argument("--scenario", default=None, choices=SCENARIO_NAMES,
+                       help="inject a seeded fault scenario (degraded "
+                            "cooling, sensor faults, ...; see repro list)")
+        p.add_argument("--scenario-seed", type=int, default=0, metavar="N",
+                       help="seed for the scenario's event stream")
 
     run_p = sub.add_parser("run", help="simulate one workload+policy")
     common(run_p)
     run_p.add_argument("--policy", default="coolpim-hw",
-                       choices=POLICY_NAMES)
+                       type=_policy_name, metavar="POLICY",
+                       help=f"one of {', '.join(POLICY_NAMES)}, or "
+                            "static-<fraction> (e.g. static-0.25)")
     run_p.add_argument("--json", action="store_true",
                        help="emit the result as JSON")
 
@@ -489,7 +530,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(trace_p)
     trace_p.add_argument("--policy", default="coolpim-hw",
-                         choices=POLICY_NAMES)
+                         type=_policy_name, metavar="POLICY",
+                         help=f"one of {', '.join(POLICY_NAMES)}, or "
+                              "static-<fraction>")
     trace_p.add_argument("--quick", action="store_true",
                          help="quarter-length run (smoke/CI)")
     trace_p.add_argument("-o", "--output", default="trace.json",

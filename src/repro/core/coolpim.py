@@ -79,10 +79,25 @@ class CoolPimSystem:
         workload: GraphWorkload,
         graph: CSRGraph,
         policy: Union[str, OffloadPolicy] = "coolpim-hw",
+        scenario=None,
     ) -> SimulationResult:
-        """Simulate one (workload, policy) run and return its aggregates."""
+        """Simulate one (workload, policy) run and return its aggregates.
+
+        ``policy`` also accepts an :class:`~repro.agents.Agent` (wrapped
+        via :func:`repro.agents.as_policy`); ``scenario`` an optional
+        :class:`~repro.scenarios.Scenario` (or preset name) injecting
+        seeded faults into the run.
+        """
         if isinstance(policy, str):
             policy = make_policy(policy)
+        elif not isinstance(policy, OffloadPolicy):
+            from repro.agents import as_policy
+
+            policy = as_policy(policy)
+        if isinstance(scenario, str):
+            from repro.scenarios import make_scenario
+
+            scenario = make_scenario(scenario)
         launch = self._launch_for(workload, graph)
         sim = SystemSimulator(
             gpu=self.gpu,
@@ -93,6 +108,7 @@ class CoolPimSystem:
             sensor=ThermalSensor(),
             control_dt_s=self.control_dt_s,
             engine=self.engine,
+            scenario=scenario,
         )
         tracer = get_tracer()
         t0 = _time.perf_counter()
@@ -112,6 +128,7 @@ class CoolPimSystem:
         workload: GraphWorkload,
         graph: CSRGraph,
         policies: Optional[Iterable[str]] = None,
+        scenario=None,
     ) -> Dict[str, SimulationResult]:
         """Run the standard evaluation matrix for one workload.
 
@@ -119,4 +136,7 @@ class CoolPimSystem:
         trace is generated once and replayed for every policy.
         """
         names = list(policies) if policies is not None else list(POLICY_NAMES)
-        return {name: self.run(workload, graph, name) for name in names}
+        return {
+            name: self.run(workload, graph, name, scenario=scenario)
+            for name in names
+        }

@@ -62,7 +62,17 @@ class HwDynT(OffloadPolicy):
 
     # -- lifecycle ------------------------------------------------------------
 
+    def reset(self) -> None:
+        super().reset()
+        self._active_warps = 0
+        self._enabled_warps = 0
+        self._effective_enabled = 0
+        self._pending_apply_at = None
+        self._last_update_s = float("-inf")
+        self._last_temp_c = None
+
     def begin(self, launch: KernelLaunch, now_s: float = 0.0) -> None:
+        super().begin(launch, now_s)
         # No initialization analysis needed: start fully enabled
         # (Sec. IV-C) and let the fast feedback find the level.
         self._active_warps = min(launch.num_warps, self.gpu.max_concurrent_warps)

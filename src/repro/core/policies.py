@@ -13,6 +13,7 @@ four configurations of the paper:
 
 from __future__ import annotations
 
+import re
 from typing import List, Optional, Tuple
 
 from repro.gpu.kernel import KernelLaunch
@@ -29,8 +30,28 @@ class OffloadPolicy:
     def __init__(self) -> None:
         self.fraction_history: List[Tuple[float, float]] = []
 
+    def bind(self, sim) -> None:
+        """Attach the running simulator before :meth:`begin`.
+
+        The paper policies ignore it; agent adapters
+        (:mod:`repro.agents`) use the handle to build observations
+        (sensor warning bit, sensed temperature, flow counters) without
+        the simulator having to know about the agent interface.
+        """
+
+    def reset(self) -> None:
+        """Clear per-launch state so a policy object can be reused.
+
+        Called from :meth:`begin`; subclasses that keep extra control
+        state must extend this (and call ``super().reset()``) rather
+        than relying on ``__init__``-time initialization, otherwise a
+        second launch inherits the previous run's history.
+        """
+        self.fraction_history.clear()
+
     def begin(self, launch: KernelLaunch, now_s: float = 0.0) -> None:
         """Called once when the kernel launches."""
+        self.reset()
 
     def pim_fraction(self, now_s: float) -> float:
         """Share of atomics offloaded at time ``now_s`` (0..1)."""
@@ -126,11 +147,38 @@ class IdealThermal(OffloadPolicy):
         return 1.0
 
 
+#: ``static-<fraction>`` policy names, e.g. ``static-0.25``.
+_STATIC_RE = re.compile(r"^static-(\d+(?:\.\d+)?)$")
+
+
+def parse_static_fraction(name: str) -> Optional[float]:
+    """``static-0.25`` → ``0.25``; ``None`` when ``name`` is not a
+    static-fraction policy name (fractions outside [0, 1] raise)."""
+    m = _STATIC_RE.match(name)
+    if m is None:
+        return None
+    fraction = float(m.group(1))
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"static fraction must be in [0,1], got {fraction}")
+    return fraction
+
+
+def is_policy_name(name: str) -> bool:
+    """True for registered names plus the ``static-<fraction>`` family."""
+    if name in POLICY_NAMES:
+        return True
+    try:
+        return parse_static_fraction(name) is not None
+    except ValueError:
+        return False
+
+
 def make_policy(name: str, **kwargs) -> OffloadPolicy:
     """Factory by configuration name used in experiment harnesses.
 
     Accepts: ``non-offloading``, ``naive-offloading``, ``coolpim-sw``,
-    ``coolpim-hw``, ``ideal-thermal``.
+    ``coolpim-hw``, ``ideal-thermal``, and the open-loop ablation family
+    ``static-<fraction>`` (e.g. ``static-0.25``).
     """
     from repro.core.hw_dynt import HwDynT
     from repro.core.sw_dynt import SwDynT
@@ -145,7 +193,15 @@ def make_policy(name: str, **kwargs) -> OffloadPolicy:
     try:
         cls = table[name]
     except KeyError:
-        raise KeyError(f"unknown policy {name!r}; available: {sorted(table)}") from None
+        fraction = parse_static_fraction(name)
+        if fraction is not None:
+            policy = StaticFraction(fraction, **kwargs)
+            policy.name = name  # round-trip the requested spelling
+            return policy
+        raise KeyError(
+            f"unknown policy {name!r}; available: {sorted(table)} "
+            "or static-<fraction> (e.g. static-0.25)"
+        ) from None
     return cls(**kwargs)
 
 

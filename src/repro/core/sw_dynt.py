@@ -57,7 +57,17 @@ class SwDynT(OffloadPolicy):
 
     # -- lifecycle ------------------------------------------------------------
 
+    def reset(self) -> None:
+        super().reset()
+        self.pool = None
+        self._active_blocks = 0
+        self._pending_size = None
+        self._pending_apply_at = 0.0
+        self._last_action_s = float("-inf")
+        self._effective_fraction = 0.0
+
     def begin(self, launch: KernelLaunch, now_s: float = 0.0) -> None:
+        super().begin(launch, now_s)
         size = self.initializer.initial_size(launch)
         # Concurrent blocks resident on the GPU: grid size may be smaller
         # than what the hardware can host.

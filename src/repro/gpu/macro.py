@@ -212,6 +212,13 @@ class MacroEngine:
         sim = self.sim
         launch.trace.rewind()
         sim.sensor.reset()
+        # Scenario injection mirrors the stepped loop exactly: one driver
+        # per run, events applied at control-step granularity, and (see
+        # _try_burst) every injection instant a hard commit boundary.
+        scen = sim._scenario_driver()
+        self.scen = scen
+        if scen is not None:
+            scen.begin()
         self.policy = policy
         self.exempt = policy.thermal_exempt
 
@@ -220,6 +227,7 @@ class MacroEngine:
         sim.flow.phase = TemperaturePhase.NORMAL
         sim.flow.set_thermal_warning(False)
 
+        policy.bind(sim)
         policy.begin(launch, now_s=0.0)
 
         self.tracer = get_tracer()
@@ -276,10 +284,16 @@ class MacroEngine:
                 batch = trace.next()
                 if batch is None:
                     break
+                if scen is not None:
+                    batch = scen.transform_batch(batch)
                 self._open_epoch(batch, self.now_s)
                 if not self._epoch_pending():
                     self._close_epoch(self.now_s)
                     continue
+            if scen is not None:
+                # Stepped applies due events at the top of every control
+                # step — i.e. after the epoch open at the same instant.
+                scen.apply_due(self.now_s)
             if self.skip > 0:
                 self.skip -= 1
                 self._scalar_step()
@@ -287,6 +301,10 @@ class MacroEngine:
                 self._scalar_step()
 
         self._materialize()
+        if scen is not None:
+            # Restore the shared thermal/flow/sensor models to nominal:
+            # CoolPimSystem reuses them across runs.
+            scen.finish()
         if self.now_s > 0.0:
             self.frac_tw.update(self.frac_tw.value, self.now_s)
         stats.counter("epochs").add(self.epochs)
@@ -494,6 +512,13 @@ class MacroEngine:
             prop = None
         if flow.is_shutdown:
             return 0
+        scen = self.scen
+        if scen is not None and scen.sensor_perturbed():
+            # Sensor-fault windows (noise/dropout) run on the scalar
+            # oracle path: each sample must pass through the real,
+            # perturbed sensor at its exact instant so both engines draw
+            # the same noise variates in the same order.
+            return 0
 
         wall_b0 = _time.perf_counter() if self.traced else 0.0
         t0 = self.now_s
@@ -502,6 +527,12 @@ class MacroEngine:
         # the fraction_horizon purity contract.
         fraction = policy.pim_fraction(t0)
         end_t = policy.fraction_horizon(t0)
+        if scen is not None:
+            # Extended horizon contract: an injection instant is a hard
+            # commit boundary — a burst may not speculate across it.
+            nxt = scen.next_event_s()
+            if nxt < end_t:
+                end_t = nxt
         warning = sim.sensor.warning
         samples_safe = True
         if warning:
@@ -524,6 +555,11 @@ class MacroEngine:
         fu_cap = flow.fu_capacity_ops_per_ns()
         es = 1.0 if exempt else flow.policy.dram_energy_scale(phase0)
         ambient = sim.thermal.ambient_c
+        # Boundary forcing for the marched thermal states: scenario
+        # ambient/cooling offsets enter here (and only here) — identical
+        # to the exact solver's `B * ambient_c` term, and equal to
+        # `ambient` when no offset is active.
+        amb_forcing = sim.thermal.effective_ambient_c
         control_dt_s = sim.control_dt_s
         quantum_ns = self.quantum_ns
         period = sim.sensor.sample_period_s
@@ -578,6 +614,8 @@ class MacroEngine:
                 nb = trace.next()
                 if nb is None:
                     break
+                if scen is not None:
+                    nb = scen.transform_batch(nb)
                 ntraffic = sim.cache.filter(nb)
                 entries.append((len(steps), nb, ntraffic))
                 sr = float(ntraffic.reads)
@@ -743,7 +781,7 @@ class MacroEngine:
                 coeffs[2] = np.repeat(np.asarray(cols[15]), nsub_arr)
                 coeffs[3] = es * np.repeat(np.asarray(cols[16]), nsub_arr)
                 coeffs[4] = es * np.repeat(np.asarray(cols[17]), nsub_arr)
-                coeffs[5] = ambient
+                coeffs[5] = amb_forcing
                 Z = prop.march(z0, coeffs)
                 peaks = prop.dram_peaks(Z)
             else:

@@ -195,6 +195,7 @@ class SystemSimulator:
         saturation_threads: int = 1500,
         stats: Optional[StatRegistry] = None,
         engine: str = "macro",
+        scenario=None,
     ) -> None:
         if control_dt_s <= 0:
             raise ValueError(f"control quantum must be positive: {control_dt_s}")
@@ -232,6 +233,19 @@ class SystemSimulator:
         #: horizon events, the default) or ``"stepped"`` (the scalar
         #: reference loop, kept as the equivalence oracle).
         self.engine = engine
+        #: Optional :class:`~repro.scenarios.Scenario` fault-injection
+        #: stream, applied identically by both engines through one
+        #: per-run :class:`~repro.scenarios.ScenarioDriver` (the single
+        #: injection hook — nothing else in the loop knows about faults).
+        self.scenario = scenario
+
+    def _scenario_driver(self):
+        """Fresh per-run driver for the configured scenario (or None)."""
+        if self.scenario is None:
+            return None
+        from repro.scenarios.driver import ScenarioDriver
+
+        return ScenarioDriver(self.scenario, self)
 
     # -- helpers -----------------------------------------------------------------
 
@@ -270,6 +284,9 @@ class SystemSimulator:
         """Scalar reference engine: one control quantum per iteration."""
         launch.trace.rewind()
         self.sensor.reset()
+        scen = self._scenario_driver()
+        if scen is not None:
+            scen.begin()
         exempt = policy.thermal_exempt
 
         # Device state before the kernel launches (ideal-thermal runs pin
@@ -279,6 +296,7 @@ class SystemSimulator:
         self.flow.phase = TemperaturePhase.NORMAL
         self.flow.set_thermal_warning(False)
 
+        policy.bind(self)
         policy.begin(launch, now_s=0.0)
 
         tracer = get_tracer()
@@ -326,6 +344,8 @@ class SystemSimulator:
             batch = launch.trace.next()
             if batch is None:
                 break
+            if scen is not None:
+                batch = scen.transform_batch(batch)
             atomics_total += batch.atomics
             traffic = self.cache.filter(batch)
             state = _EpochState(batch, traffic)
@@ -341,6 +361,8 @@ class SystemSimulator:
 
             while (not state.drained or rem_atomics > 0
                    or rem_reads > 0 or rem_writes > 0):
+                if scen is not None:
+                    scen.apply_due(now_s)
                 fraction = policy.pim_fraction(now_s)
                 if fraction != frac_tw.value:
                     frac_tw.update(fraction, now_s)
@@ -498,6 +520,10 @@ class SystemSimulator:
                     sim_start_s=epoch_sim0, sim_end_s=now_s,
                 )
 
+        if scen is not None:
+            # Restore the shared thermal/flow/sensor models to nominal:
+            # CoolPimSystem reuses them across runs.
+            scen.finish()
         # Tail of the last fraction level, so the time-weighted mean
         # covers the full run.
         if now_s > 0.0:

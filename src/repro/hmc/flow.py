@@ -138,6 +138,11 @@ class HmcFlowModel:
         self.phase = TemperaturePhase.NORMAL
         self.stats = FlowStats()
         self._thermal_warning = False
+        #: Scenario-injection knob: fraction of nominal vault service
+        #: capacity available (per-vault derating — failed/slowed vaults
+        #: shrink both internal DRAM bandwidth and the FU pool). 1.0 is
+        #: bit-exact nominal (×1.0 is an IEEE identity).
+        self.vault_capacity_scale = 1.0
 
     # -- thermal coupling -----------------------------------------------------
 
@@ -188,10 +193,14 @@ class HmcFlowModel:
 
     def dram_capacity_gbs(self) -> float:
         """Internal DRAM service bandwidth at the current phase."""
-        return self.internal_peak_gbs * self.derating()
+        return self.internal_peak_gbs * self.derating() * self.vault_capacity_scale
 
     def fu_capacity_ops_per_ns(self) -> float:
-        return self.config.num_vaults * self.fu_rate_per_vault_gops
+        return (
+            self.config.num_vaults
+            * self.fu_rate_per_vault_gops
+            * self.vault_capacity_scale
+        )
 
     # -- service --------------------------------------------------------------
 

@@ -1,0 +1,37 @@
+"""Stochastic scenario / failure injection for the co-simulator.
+
+The paper evaluates the CoolPIM control loop under clean-room
+conditions: ideal sensors, nominal cooling, a fixed ambient, healthy
+vaults. This package asks the robustness question the paper couldn't —
+do SW-DynT/HW-DynT stay stable when the feedback channel itself is
+unreliable? — by injecting seeded fault streams into a running
+:class:`~repro.gpu.simulator.SystemSimulator`:
+
+- fan / heat-sink degradation (cooling-coefficient ramps),
+- ambient temperature excursions,
+- sensor dropout and Gaussian measurement noise,
+- per-vault capacity derating,
+- mid-run workload phase mixes.
+
+Design rule: **everything is an event**. A scenario compiles (from its
+name and seed, deterministically) into a sorted stream of discrete
+:class:`ScenarioEvent` instants; between instants every injected effect
+is piecewise-constant. That is what lets the macro-stepping engine keep
+its speculate/validate/commit fast path — each event instant is a hard
+commit boundary (a burst may not speculate across it), and sensor-fault
+windows force the scalar oracle path so noisy observations happen at
+exactly the stepped engine's instants.
+"""
+
+from repro.scenarios.events import Scenario, ScenarioEvent
+from repro.scenarios.driver import ScenarioDriver
+from repro.scenarios.presets import SCENARIO_NAMES, is_scenario_name, make_scenario
+
+__all__ = [
+    "Scenario",
+    "ScenarioEvent",
+    "ScenarioDriver",
+    "SCENARIO_NAMES",
+    "is_scenario_name",
+    "make_scenario",
+]

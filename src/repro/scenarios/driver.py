@@ -1,0 +1,146 @@
+"""Runtime application of a scenario's event stream to a simulator.
+
+One :class:`ScenarioDriver` instance serves one run. Both engines use
+the identical protocol, which is what makes injected runs bit-identical
+between ``macro`` and ``stepped``:
+
+- ``begin()`` zeroes every injection knob (the thermal model and flow
+  model are shared across runs by :class:`~repro.core.coolpim.CoolPimSystem`,
+  so stale state from a previous injected run must never leak in);
+- ``apply_due(now_s)`` is called at control-step granularity (stepped:
+  top of the step loop; macro: main loop, after epoch open) and applies
+  every event with ``t_s <= now_s`` in stream order;
+- ``next_event_s()`` bounds macro bursts: an injection instant is a
+  commit boundary, so a burst may not speculate across it;
+- ``sensor_perturbed()`` gates bursts off entirely while the sensor
+  channel is noisy or dropped — the scalar oracle path then feeds the
+  perturbation through the real :class:`~repro.thermal.sensor.ThermalSensor`
+  at exactly the stepped engine's sample instants, keeping the
+  per-window noise streams engine-independent;
+- ``transform_batch(batch)`` rescales epoch op batches per the current
+  phase mix (applied at epoch open, like the engines do);
+- ``finish()`` restores every knob so the next run over the shared
+  models starts clean.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from typing import Optional
+
+from repro.scenarios.events import Scenario, ScenarioEvent
+from repro.sim.trace import OpBatch
+
+
+class ScenarioDriver:
+    """Applies one :class:`Scenario` to one simulator run."""
+
+    def __init__(self, scenario: Scenario, sim) -> None:
+        self.scenario = scenario
+        self.sim = sim
+        self._events = scenario.events
+        self._idx = 0
+        self._cooling_c = 0.0
+        self._ambient_c = 0.0
+        self._noise_sigma = 0.0
+        self._noise_rng: Optional[random.Random] = None
+        self._dropout = False
+        self._mem_scale = 1.0
+        self._compute_scale = 1.0
+        #: Number of events applied so far (telemetry / smoke checks).
+        self.injected = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def begin(self) -> None:
+        """Arm the stream and zero all knobs on the (shared) models."""
+        self._idx = 0
+        self._cooling_c = 0.0
+        self._ambient_c = 0.0
+        self._noise_sigma = 0.0
+        self._noise_rng = None
+        self._dropout = False
+        self._mem_scale = 1.0
+        self._compute_scale = 1.0
+        self.injected = 0
+        self._clear_models()
+
+    def finish(self) -> None:
+        """Restore nominal state on the shared models."""
+        self._clear_models()
+
+    def _clear_models(self) -> None:
+        self.sim.thermal.set_ambient_offset(0.0)
+        self.sim.flow.vault_capacity_scale = 1.0
+        self.sim.sensor.perturb = None
+
+    # -- event delivery ------------------------------------------------------
+
+    def next_event_s(self) -> float:
+        """Time of the next undelivered event (inf when drained). The
+        macro engine bounds burst speculation by this instant."""
+        if self._idx < len(self._events):
+            return self._events[self._idx].t_s
+        return float("inf")
+
+    def apply_due(self, now_s: float) -> None:
+        """Apply every event at or before ``now_s``, in stream order."""
+        while self._idx < len(self._events) and self._events[self._idx].t_s <= now_s:
+            self._apply(self._events[self._idx])
+            self._idx += 1
+
+    def _apply(self, event: ScenarioEvent) -> None:
+        kind = event.kind
+        if kind == "cooling-offset":
+            self._cooling_c = event.value
+            self.sim.thermal.set_ambient_offset(self._cooling_c + self._ambient_c)
+        elif kind == "ambient-offset":
+            self._ambient_c = event.value
+            self.sim.thermal.set_ambient_offset(self._cooling_c + self._ambient_c)
+        elif kind == "sensor-noise":
+            self._noise_sigma = event.value
+            self._noise_rng = (
+                random.Random(int(event.extra)) if event.value > 0.0 else None
+            )
+            self._update_sensor()
+        elif kind == "sensor-dropout":
+            self._dropout = event.value > 0.0
+            self._update_sensor()
+        elif kind == "vault-derating":
+            self.sim.flow.vault_capacity_scale = event.value
+        elif kind == "phase-mix":
+            self._mem_scale = event.value
+            self._compute_scale = event.extra if event.extra > 0.0 else 1.0
+        self.injected += 1
+
+    def _update_sensor(self) -> None:
+        perturbed = self._dropout or self._noise_sigma > 0.0
+        self.sim.sensor.perturb = self._perturb if perturbed else None
+
+    def _perturb(self, temp_c: float, now_s: float) -> Optional[float]:
+        if self._dropout:
+            return None
+        return temp_c + self._noise_rng.gauss(0.0, self._noise_sigma)
+
+    def sensor_perturbed(self) -> bool:
+        """True while the sensor channel is faulted. The macro engine
+        must not burst through such a window: sampling has to run on
+        the scalar path so noise draws land at oracle instants."""
+        return self._dropout or self._noise_sigma > 0.0
+
+    # -- workload phase mix ---------------------------------------------------
+
+    def transform_batch(self, batch: OpBatch) -> OpBatch:
+        """Rescale an epoch's op batch by the current phase mix."""
+        m, c = self._mem_scale, self._compute_scale
+        if m == 1.0 and c == 1.0:
+            return batch
+        return replace(
+            batch,
+            reads=int(round(batch.reads * m)),
+            writes=int(round(batch.writes * m)),
+            atomics=int(round(batch.atomics * m)),
+            atomics_with_return=int(round(batch.atomics_with_return * m)),
+            compute_cycles=int(round(batch.compute_cycles * c)),
+        )

@@ -1,0 +1,197 @@
+"""Named scenario generators.
+
+``make_scenario(name, seed)`` deterministically compiles a named preset
+into a :class:`~repro.scenarios.events.Scenario`: the same pair always
+yields the same event stream, on any host and in any process (the RNG is
+``random.Random`` seeded from the pair alone — no wall clock, no salted
+hashes), which is what lets the job cache key injected runs by
+``(scenario, scenario_seed)``.
+
+Timescales target the co-simulator's regime: kernels run for a few to a
+few tens of milliseconds of simulated time, the sensor samples every
+100 µs, and the package thermal time constant is ~1 ms. Fault onsets land
+shortly after launch and patterns repeat up to a generation horizon of
+:data:`HORIZON_S`; runs that outlive the horizon simply stop receiving
+new events (the last levels hold).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Callable, Dict, List
+
+from repro.scenarios.events import EVENT_KINDS, Scenario, ScenarioEvent
+
+#: Event-generation horizon (simulated seconds). Covers the longest
+#: kernel runs in the suite; see module docstring.
+HORIZON_S = 0.25
+
+#: Lumped reference power for translating sink-resistance degradation
+#: into a boundary-temperature penalty (ΔT = ΔR_sink · P_ref), W.
+SINK_REFERENCE_POWER_W = 20.0
+
+
+def _rng(name: str, seed: int, salt: str = "") -> random.Random:
+    """Deterministic per-(name, seed, salt) RNG — no process salt."""
+    key = zlib.crc32(f"{name}/{salt}".encode("utf-8")) & 0xFFFFFFFF
+    return random.Random((int(seed) << 32) ^ key)
+
+
+def _degraded_cooling(name: str, seed: int) -> List[ScenarioEvent]:
+    """Fan/heat-sink degradation: the case-to-ambient resistance ramps
+    up after a failure instant. The continuous ramp is compiled into a
+    staircase of absolute cooling-offset levels (piecewise-constant
+    between events — the macro-engine contract)."""
+    rng = _rng(name, seed, "cooling")
+    onset = rng.uniform(0.5e-3, 2.0e-3)
+    ramp = rng.uniform(1.0e-3, 4.0e-3)
+    # ΔR up to ~0.9 °C/W (a badly clogged sink) → up to ~18 °C at P_ref.
+    delta_r = rng.uniform(0.4, 0.9)
+    final_c = delta_r * SINK_REFERENCE_POWER_W
+    steps = 6
+    events = [
+        ScenarioEvent(
+            t_s=onset + ramp * (i + 1) / steps,
+            kind="cooling-offset",
+            value=final_c * (i + 1) / steps,
+        )
+        for i in range(steps)
+    ]
+    return events
+
+
+def _heatwave(name: str, seed: int) -> List[ScenarioEvent]:
+    """Ambient excursions: repeated square-ish pulses with staircase
+    edges (machine-room door opens, rack inlet recirculation, ...)."""
+    rng = _rng(name, seed, "ambient")
+    events: List[ScenarioEvent] = []
+    t = rng.uniform(0.5e-3, 2.0e-3)
+    while t < HORIZON_S:
+        amp = rng.uniform(4.0, 12.0)
+        rise = rng.uniform(0.3e-3, 0.8e-3)
+        hold = rng.uniform(1.0e-3, 4.0e-3)
+        events.append(ScenarioEvent(t, "ambient-offset", amp / 2.0))
+        events.append(ScenarioEvent(t + rise, "ambient-offset", amp))
+        events.append(ScenarioEvent(t + rise + hold, "ambient-offset", amp / 2.0))
+        events.append(ScenarioEvent(t + 2 * rise + hold, "ambient-offset", 0.0))
+        t += 2 * rise + hold + rng.uniform(3.0e-3, 8.0e-3)
+    return events
+
+
+def _sensor_noise(name: str, seed: int) -> List[ScenarioEvent]:
+    """Windows of Gaussian measurement noise on the thermal sensor.
+
+    Each window carries its own integer sub-seed in ``extra`` so the
+    noise stream restarts identically on replay regardless of engine —
+    the macro engine runs these windows on the scalar oracle path, so
+    both engines draw the same variates at the same sample instants."""
+    rng = _rng(name, seed, "noise")
+    events: List[ScenarioEvent] = []
+    t = rng.uniform(0.5e-3, 2.0e-3)
+    while t < HORIZON_S:
+        sigma = rng.uniform(0.5, 2.0)
+        duration = rng.uniform(1.0e-3, 3.0e-3)
+        window_seed = rng.getrandbits(31)
+        events.append(ScenarioEvent(t, "sensor-noise", sigma, float(window_seed)))
+        events.append(ScenarioEvent(t + duration, "sensor-noise", 0.0))
+        t += duration + rng.uniform(2.0e-3, 6.0e-3)
+    return events
+
+
+def _sensor_dropout(name: str, seed: int) -> List[ScenarioEvent]:
+    """Windows where sensor readings are lost entirely (the warning bit
+    and last_temp_c freeze at their pre-dropout values)."""
+    rng = _rng(name, seed, "dropout")
+    events: List[ScenarioEvent] = []
+    t = rng.uniform(0.5e-3, 2.0e-3)
+    while t < HORIZON_S:
+        duration = rng.uniform(0.5e-3, 2.0e-3)
+        events.append(ScenarioEvent(t, "sensor-dropout", 1.0))
+        events.append(ScenarioEvent(t + duration, "sensor-dropout", 0.0))
+        t += duration + rng.uniform(2.0e-3, 6.0e-3)
+    return events
+
+
+def _vault_derating(name: str, seed: int) -> List[ScenarioEvent]:
+    """Per-vault capacity loss: a fraction of vaults fail or are fenced,
+    shrinking internal DRAM bandwidth and the PIM FU pool; partial
+    repair may restore some capacity later."""
+    rng = _rng(name, seed, "vault")
+    onset = rng.uniform(0.5e-3, 2.0e-3)
+    degraded = rng.uniform(0.55, 0.85)
+    events = [ScenarioEvent(onset, "vault-derating", degraded)]
+    if rng.random() < 0.5:
+        recover_t = onset + rng.uniform(3.0e-3, 8.0e-3)
+        events.append(
+            ScenarioEvent(recover_t, "vault-derating", rng.uniform(degraded, 1.0))
+        )
+    return events
+
+
+def _phase_shift(name: str, seed: int) -> List[ScenarioEvent]:
+    """Mid-run workload phase mixes: alternate memory-heavy and
+    compute-heavy scalings of subsequent epochs' op batches."""
+    rng = _rng(name, seed, "phase")
+    events: List[ScenarioEvent] = []
+    t = rng.uniform(0.5e-3, 2.0e-3)
+    memory_heavy = True
+    while t < HORIZON_S:
+        if memory_heavy:
+            mem, cmp_ = rng.uniform(1.2, 1.8), rng.uniform(0.6, 0.9)
+        else:
+            mem, cmp_ = rng.uniform(0.5, 0.8), rng.uniform(1.2, 1.6)
+        events.append(ScenarioEvent(t, "phase-mix", mem, cmp_))
+        memory_heavy = not memory_heavy
+        t += rng.uniform(1.0e-3, 3.0e-3)
+    return events
+
+
+def _chaos(name: str, seed: int) -> List[ScenarioEvent]:
+    """Everything at once — the robustness stress suite."""
+    events: List[ScenarioEvent] = []
+    for gen in (
+        _degraded_cooling,
+        _heatwave,
+        _sensor_noise,
+        _sensor_dropout,
+        _vault_derating,
+        _phase_shift,
+    ):
+        events.extend(gen(name, seed))
+    return events
+
+
+_PRESETS: Dict[str, Callable[[str, int], List[ScenarioEvent]]] = {
+    "degraded-cooling": _degraded_cooling,
+    "heatwave": _heatwave,
+    "sensor-noise": _sensor_noise,
+    "sensor-dropout": _sensor_dropout,
+    "vault-derating": _vault_derating,
+    "phase-shift": _phase_shift,
+    "chaos": _chaos,
+}
+
+#: Registry order used by the CLI and the API schema listings.
+SCENARIO_NAMES = list(_PRESETS)
+
+
+def is_scenario_name(name: str) -> bool:
+    return name in _PRESETS
+
+
+def make_scenario(name: str, seed: int = 0) -> Scenario:
+    """Compile a named preset into a deterministic event stream."""
+    try:
+        gen = _PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {sorted(_PRESETS)}"
+        ) from None
+    if not isinstance(seed, int) or isinstance(seed, bool) or seed < 0:
+        raise ValueError(f"scenario seed must be a non-negative int, got {seed!r}")
+    events = sorted(
+        gen(name, seed),
+        key=lambda e: (e.t_s, EVENT_KINDS.index(e.kind), e.value, e.extra),
+    )
+    return Scenario(name=name, seed=seed, events=tuple(events))

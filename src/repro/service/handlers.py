@@ -70,6 +70,8 @@ def simulation_spec(
     workload_scale: float = 1.0,
     engine: str = "macro",
     trace: bool = False,
+    scenario: Optional[str] = None,
+    scenario_seed: int = 0,
     timeout_s: Optional[float] = None,
     max_retries: int = 0,
 ) -> JobSpec:
@@ -82,7 +84,11 @@ def simulation_spec(
     non-default engines (the macro engine reproduces the stepped
     aggregates, so results cached under either stay comparable), and
     ``trace`` — which makes the payload carry the sampled timeline so
-    trace artifacts can be rendered later — only when set.
+    trace artifacts can be rendered later — only when set. A fault
+    injection ``scenario`` (preset name + ``scenario_seed``, see
+    :mod:`repro.scenarios`) follows the same rule: clean runs keep
+    their existing keys, injected runs dedupe on the (name, seed) pair
+    that fully determines the event stream.
     """
     params = {
         "workload": workload,
@@ -96,6 +102,10 @@ def simulation_spec(
         params["engine"] = engine
     if trace:
         params["trace"] = True
+    if scenario:
+        params["scenario"] = scenario
+        if scenario_seed != 0:
+            params["scenario_seed"] = scenario_seed
     return JobSpec(
         kind="simulation",
         name=f"{workload}/{policy}@{dataset}",
@@ -141,7 +151,16 @@ def run_simulation_job(spec: JobSpec) -> Dict[str, Any]:
     graph = get_dataset(params.get("dataset", "ldbc"))
     workload = get_workload(params["workload"], seed=spec.seed)
     apply_workload_scale(workload, params.get("workload_scale", 1.0))
-    result = system.run(workload, graph, params.get("policy", "coolpim-hw"))
+    scenario = None
+    if params.get("scenario"):
+        from repro.scenarios import make_scenario
+
+        scenario = make_scenario(
+            params["scenario"], seed=int(params.get("scenario_seed", 0))
+        )
+    result = system.run(
+        workload, graph, params.get("policy", "coolpim-hw"), scenario=scenario
+    )
     payload = {
         "workload": params["workload"],
         "dataset": params.get("dataset", "ldbc"),
@@ -152,6 +171,9 @@ def run_simulation_job(spec: JobSpec) -> Dict[str, Any]:
             include_timeline=get_tracer().enabled or bool(params.get("trace"))
         ),
     }
+    if scenario is not None:
+        payload["scenario"] = scenario.name
+        payload["scenario_seed"] = scenario.seed
     if system.last_stats is not None:
         payload["metrics"] = system.last_stats.snapshot(structured=True)
     return payload

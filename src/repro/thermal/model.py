@@ -205,6 +205,30 @@ class HmcThermalModel:
             self.network.num_nodes, self.ambient_c if temp_c is None else temp_c
         )
 
+    # -- scenario injection ------------------------------------------------------
+
+    def set_ambient_offset(self, delta_c: float) -> None:
+        """Shift the boundary (case/ambient) temperature by ``delta_c``.
+
+        Scenario injection uses this for both ambient excursions and
+        heat-sink degradation: a degraded sink raises the effective
+        case-to-ambient resistance, which to first order (lumped, fixed
+        reference power ``P_ref``) is an additive boundary-temperature
+        penalty ``ΔT = ΔR_sink · P_ref``. The offset only enters the
+        transient forcing term (``B · ambient``) — the conductance
+        network, operator caches, and reduced propagators are untouched,
+        so the macro fast path stays valid; with ``delta_c == 0`` the
+        forcing is bit-identical to the unperturbed model. Steady-state
+        helpers (warm start, shutdown recovery) keep the nominal ambient
+        in both engines.
+        """
+        self._transient.ambient_c = self.ambient_c + delta_c
+
+    @property
+    def effective_ambient_c(self) -> float:
+        """Boundary temperature currently driving the transient solver."""
+        return self._transient.ambient_c
+
     def warm_start(self, traffic: TrafficPoint) -> None:
         """Initialize the transient state at the steady point of ``traffic``."""
         self._transient.set_state(self.steady_state(traffic))

@@ -10,7 +10,12 @@ flag with hysteresis so the control loop doesn't chatter at the threshold.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Callable, List, Optional, Tuple
+
+#: Scenario-injection hook: ``(true_temp_c, now_s) -> reading``. Returning
+#: ``None`` models sensor dropout — the sample slot is consumed but the
+#: reading is lost, freezing the warning state and ``last_temp_c``.
+PerturbFn = Callable[[float, float], Optional[float]]
 
 
 @dataclass
@@ -33,7 +38,13 @@ class ThermalSensor:
     sample_period_s: float = 100e-6
     _warning: bool = field(default=False, init=False)
     _last_sample_time: float = field(default=float("-inf"), init=False)
-    _last_temp: float = field(default=0.0, init=False)
+    #: ``None`` until the first sample lands — a fictitious 0 °C here
+    #: would poison HW-DynT's severity/settling logic after a reset.
+    _last_temp: Optional[float] = field(default=None, init=False)
+    #: Measurement-channel perturbation (noise/dropout); ``None`` = ideal.
+    perturb: Optional[PerturbFn] = field(
+        default=None, init=False, repr=False, compare=False
+    )
     history: List[Tuple[float, float, bool]] = field(default_factory=list, init=False)
 
     def __post_init__(self) -> None:
@@ -50,7 +61,8 @@ class ThermalSensor:
         return self._warning
 
     @property
-    def last_temp_c(self) -> float:
+    def last_temp_c(self) -> Optional[float]:
+        """Most recent accepted reading; ``None`` before the first sample."""
         return self._last_temp
 
     @property
@@ -74,6 +86,13 @@ class ThermalSensor:
         """
         if now_s - self._last_sample_time < self.sample_period_s:
             return self._warning
+        if self.perturb is not None:
+            reading = self.perturb(temp_c, now_s)
+            if reading is None:
+                # Dropout: the slot is consumed, the reading is lost.
+                self._last_sample_time = now_s
+                return self._warning
+            temp_c = reading
         self._last_sample_time = now_s
         self._last_temp = temp_c
         if self._warning:
@@ -86,7 +105,10 @@ class ThermalSensor:
         return self._warning
 
     def reset(self) -> None:
+        """Clear sampling state. ``perturb`` is left alone on purpose: a
+        scenario's sensor-fault window survives mid-run resets (thermal
+        shutdown recovery) — the fault is in the channel, not the run."""
         self._warning = False
         self._last_sample_time = float("-inf")
-        self._last_temp = 0.0
+        self._last_temp = None
         self.history.clear()

@@ -97,6 +97,50 @@ class TestRunRequest:
         with pytest.raises(ValidationError):
             validate_run_request({"kind": 3, "workload": "pagerank"})
 
+    def test_static_policy_family_accepted(self):
+        spec = validate_run_request(
+            {"workload": "pagerank", "policy": "static-0.25"}
+        )
+        assert spec.params["policy"] == "static-0.25"
+        with pytest.raises(ValidationError) as exc:
+            validate_run_request(
+                {"workload": "pagerank", "policy": "static-1.5"}
+            )
+        assert exc.value.field == "policy"
+        assert "static-<fraction>" in exc.value.message
+
+    def test_scenario_fields_enter_spec_and_key(self):
+        clean = validate_run_request({"workload": "pagerank"})
+        injected = validate_run_request({
+            "workload": "pagerank",
+            "scenario": "degraded-cooling",
+            "scenario_seed": 3,
+        })
+        assert injected.params["scenario"] == "degraded-cooling"
+        assert injected.params["scenario_seed"] == 3
+        assert injected.key != clean.key
+        # No scenario → no scenario params → existing keys unchanged.
+        assert "scenario" not in clean.params
+
+    def test_scenario_rejections(self):
+        with pytest.raises(ValidationError) as exc:
+            validate_run_request(
+                {"workload": "pagerank", "scenario": "nope"}
+            )
+        assert exc.value.field == "scenario"
+        with pytest.raises(ValidationError) as exc:
+            validate_run_request(
+                {"workload": "pagerank", "scenario_seed": 1}
+            )
+        assert exc.value.field == "scenario_seed"
+        with pytest.raises(ValidationError) as exc:
+            validate_run_request({
+                "workload": "pagerank",
+                "scenario": "heatwave",
+                "scenario_seed": -1,
+            })
+        assert exc.value.field == "scenario_seed"
+
 
 class TestSweepRequest:
     def test_cross_product_expansion(self):
@@ -124,6 +168,27 @@ class TestSweepRequest:
             validate_sweep_request(
                 {"workloads": ["pagerank", "kcore"]}, max_jobs=3
             )
+
+    def test_sweep_accepts_static_and_scenario(self):
+        specs = validate_sweep_request({
+            "workloads": ["pagerank"],
+            "policies": ["non-offloading", "static-0.5"],
+            "scenario": "heatwave",
+            "scenario_seed": 2,
+        })
+        assert len(specs) == 2
+        for spec in specs:
+            assert spec.params["scenario"] == "heatwave"
+            assert spec.params["scenario_seed"] == 2
+        assert specs[1].params["policy"] == "static-0.5"
+
+    def test_sweep_rejects_bad_policy_entry(self):
+        with pytest.raises(ValidationError) as exc:
+            validate_sweep_request({
+                "workloads": ["pagerank"],
+                "policies": ["static-7"],
+            })
+        assert exc.value.field == "policy"
 
     def test_custom_items(self):
         specs = validate_sweep_request(

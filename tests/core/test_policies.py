@@ -8,9 +8,22 @@ from repro.core.policies import (
     IdealThermal,
     NaiveOffloading,
     NonOffloading,
+    StaticFraction,
+    is_policy_name,
     make_policy,
+    parse_static_fraction,
 )
 from repro.core.sw_dynt import SwDynT
+from repro.gpu.kernel import KernelLaunch
+from repro.sim.trace import OpBatch, TraceCursor
+
+
+def tiny_launch():
+    return KernelLaunch(
+        name="t",
+        trace=TraceCursor([OpBatch(reads=10, writes=5, atomics=10, threads=256)]),
+        total_threads=4096,
+    )
 
 
 class TestStaticPolicies:
@@ -59,3 +72,83 @@ class TestFactory:
     def test_kwargs_forwarded(self):
         p = make_policy("coolpim-sw", control_factor=3)
         assert p.control_factor == 3
+
+
+class TestStaticFamily:
+    """``static-<fraction>`` names: an open family the factory accepts."""
+
+    def test_factory_builds_static(self):
+        p = make_policy("static-0.25")
+        assert isinstance(p, StaticFraction)
+        assert p.pim_fraction(0.0) == 0.25
+
+    def test_name_round_trips_requested_spelling(self):
+        # "static-0.5" must not normalize to "static-0.50": API/CLI
+        # callers get back exactly the name they asked for.
+        assert make_policy("static-0.5").name == "static-0.5"
+        assert make_policy("static-1").name == "static-1"
+
+    def test_parse(self):
+        assert parse_static_fraction("static-0.25") == 0.25
+        assert parse_static_fraction("static-1") == 1.0
+        assert parse_static_fraction("coolpim-sw") is None
+        assert parse_static_fraction("static-") is None
+        with pytest.raises(ValueError):
+            parse_static_fraction("static-1.5")
+
+    def test_is_policy_name(self):
+        for name in POLICY_NAMES:
+            assert is_policy_name(name)
+        assert is_policy_name("static-0.75")
+        assert not is_policy_name("static-2.0")  # out of range
+        assert not is_policy_name("nope")
+
+    def test_factory_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            make_policy("static-1.5")
+
+    def test_registry_order_unchanged(self):
+        # Figure ordering depends on this exact sequence.
+        assert POLICY_NAMES == [
+            "non-offloading",
+            "naive-offloading",
+            "coolpim-sw",
+            "coolpim-hw",
+            "ideal-thermal",
+        ]
+
+
+class TestResetOnBegin:
+    """A policy object reused across launches must not leak history."""
+
+    def test_base_policy_clears_history(self):
+        p = NonOffloading()
+        p.record_fraction(1.0, 0.5)
+        p.begin(tiny_launch())
+        assert p.fraction_history == []
+
+    def test_sw_dynt_clears_control_state(self):
+        p = SwDynT()
+        launch = tiny_launch()
+        p.begin(launch)
+        p.on_thermal_warning(1.0)
+        p.pim_fraction(2.0)
+        first_history = list(p.fraction_history)
+        first_size = p.ptp_size
+        p.begin(launch)
+        # History restarts from the initial record, pool re-initialized.
+        assert p.fraction_history == first_history[:1]
+        assert p.ptp_size >= first_size
+        assert p._pending_size is None
+        assert p._last_action_s == float("-inf")
+
+    def test_hw_dynt_clears_control_state(self):
+        p = HwDynT()
+        launch = tiny_launch()
+        p.begin(launch)
+        p.on_thermal_warning(1.0, 90.0)
+        p.pim_fraction(2.0)
+        p.begin(launch)
+        assert p.fraction_history == [(0.0, 1.0)]
+        assert p.pim_fraction(0.0) == 1.0
+        assert p._last_temp_c is None

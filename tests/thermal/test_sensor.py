@@ -58,3 +58,47 @@ class TestReset:
         assert not s.warning
         assert s.history == []
         assert s.observe(99.0, 0.0)  # can sample immediately again
+
+    def test_last_temp_is_none_until_first_sample(self):
+        # A fictitious 0 °C reading here would poison HW-DynT's
+        # severity/settling logic after a mid-run sensor reset.
+        s = ThermalSensor()
+        assert s.last_temp_c is None
+        s.observe(50.0, 0.0)
+        assert s.last_temp_c == 50.0
+        s.reset()
+        assert s.last_temp_c is None
+
+
+class TestPerturbation:
+    """Scenario-injection hook: measurement noise and dropout."""
+
+    def test_noise_shifts_the_reading(self):
+        s = ThermalSensor()
+        s.perturb = lambda temp_c, now_s: temp_c + 10.0
+        assert s.observe(80.0, 0.0)  # 80 + 10 crosses the 85 threshold
+        assert s.last_temp_c == 90.0
+        assert s.history == [(0.0, 90.0, True)]
+
+    def test_dropout_consumes_slot_and_freezes_state(self):
+        s = ThermalSensor(sample_period_s=1.0)
+        s.observe(90.0, 0.0)
+        assert s.warning and s.last_temp_c == 90.0
+        s.perturb = lambda temp_c, now_s: None
+        assert s.observe(50.0, 1.0)   # reading lost: warning stays latched
+        assert s.last_temp_c == 90.0  # frozen
+        assert len(s.history) == 1    # lost samples are not recorded
+        # The slot was consumed: a reading inside the same period is
+        # still ignored.
+        s.perturb = None
+        assert s.observe(50.0, 1.5)
+        assert s.last_temp_c == 90.0
+
+    def test_perturb_survives_reset(self):
+        # The fault lives in the measurement channel, not the run: a
+        # thermal-shutdown recovery (sensor.reset()) must not heal it.
+        s = ThermalSensor()
+        s.perturb = lambda temp_c, now_s: None
+        s.reset()
+        assert s.perturb is not None
+        assert not s.observe(99.0, 0.0)  # still dropped
