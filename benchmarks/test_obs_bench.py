@@ -12,6 +12,8 @@ warm-up hit both variants symmetrically.
 
 import time
 
+import pytest
+
 from repro.obs.tracer import get_tracer
 from repro.sim.engine import EventEngine
 
@@ -76,4 +78,80 @@ def test_disabled_tracer_overhead_below_5_percent():
     assert overhead < OVERHEAD_LIMIT, (
         f"disabled-tracer overhead {overhead * 100:.1f}% exceeds "
         f"{OVERHEAD_LIMIT * 100:.0f}% budget"
+    )
+
+
+# --- live-telemetry control-loop overhead --------------------------------
+#
+# The engines check for a run sink inline (stepped: every control step;
+# macro: every commit boundary). With a sink attached the per-step cost
+# is one attribute comparison; detached it is one `is not None` test.
+# Either way the control loop must stay within 5% of the
+# telemetry-disabled time on BOTH engines. A small absolute epsilon
+# absorbs timer granularity on these ~100 ms runs.
+
+TELEMETRY_ROUNDS = 7
+TELEMETRY_ABS_EPS_S = 0.002
+
+
+def _sim_once(engine, sink):
+    from repro.core.policies import make_policy
+    from repro.gpu.kernel import KernelLaunch
+    from repro.gpu.simulator import SystemSimulator
+    from repro.hmc.config import HMC_2_0
+    from repro.hmc.flow import HmcFlowModel
+    from repro.sim.trace import OpBatch, TraceCursor
+    from repro.telemetry.live import run_telemetry
+    from repro.thermal.cooling import COMMODITY_SERVER
+    from repro.thermal.model import HmcThermalModel
+    from repro.thermal.sensor import ThermalSensor
+
+    launch = KernelLaunch(
+        name="telemetry-bench",
+        trace=TraceCursor([
+            OpBatch(reads=120_000, writes=60_000, atomics=250_000,
+                    compute_cycles=15_000, threads=4096, label=f"e{i}")
+            for i in range(8)
+        ]),
+        total_threads=4096,
+    )
+    sim = SystemSimulator(
+        flow=HmcFlowModel(HMC_2_0),
+        thermal=HmcThermalModel(HMC_2_0, cooling=COMMODITY_SERVER),
+        sensor=ThermalSensor(),
+        engine=engine,
+    )
+    policy = make_policy("coolpim-hw")
+    t0 = time.perf_counter()
+    if sink is not None:
+        with run_telemetry(sink):
+            sim.run(launch, policy)
+    else:
+        sim.run(launch, policy)
+    return time.perf_counter() - t0
+
+
+@pytest.mark.parametrize("engine", ["stepped", "macro"])
+def test_telemetry_enabled_overhead_below_5_percent(engine):
+    from repro.telemetry.live import RunTelemetrySink
+
+    def make_sink():
+        return RunTelemetrySink(emit=lambda s: None, max_samples=64)
+
+    _sim_once(engine, None)  # warm-up
+    _sim_once(engine, make_sink())
+    enabled, disabled = [], []
+    for _ in range(TELEMETRY_ROUNDS):
+        enabled.append(_sim_once(engine, make_sink()))
+        disabled.append(_sim_once(engine, None))
+    best_on, best_off = min(enabled), min(disabled)
+    overhead = best_on / best_off - 1.0
+    print(
+        f"\n  {engine}: telemetry on {best_on * 1e3:.2f} ms, "
+        f"off {best_off * 1e3:.2f} ms, overhead {overhead * 100:+.2f}%"
+    )
+    assert best_on < best_off * (1 + OVERHEAD_LIMIT) + TELEMETRY_ABS_EPS_S, (
+        f"{engine}: telemetry-enabled control loop is "
+        f"{overhead * 100:.1f}% slower than disabled "
+        f"(budget {OVERHEAD_LIMIT * 100:.0f}%)"
     )

@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""CI smoke for the live telemetry plane.
+
+Boots a real ``repro serve`` subprocess, submits one tiny simulation,
+follows its event stream and asserts at least one in-flight ``telemetry``
+event arrives *before* the terminal event (with strictly increasing
+seqs), fetches the run's telemetry series, scrapes ``GET /metrics`` and
+validates the Prometheus exposition parses and covers the expected
+series, checks ``/readyz``, then shuts down gracefully.
+
+Usage: PYTHONPATH=src python scripts/telemetry_smoke.py [cache_dir]
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+
+RUN_BODY = {
+    "workload": "kcore",
+    "dataset": "ldbc-tiny",
+    "policy": "coolpim-hw",
+    "workload_scale": 0.25,
+    "engine": "stepped",
+}
+
+REQUIRED_SERIES = (
+    "repro_api_requests_total",
+    "repro_api_runs_total",
+    "repro_api_run_seconds",
+    "repro_api_queue_depth",
+    "repro_api_running",
+    "repro_api_sse_subscribers",
+    "repro_jobs_total",
+    "repro_sim_runs_total",
+    "repro_sim_control_steps_total",
+)
+
+
+def fail(message):
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    cache_dir = sys.argv[1] if len(sys.argv) > 1 else tempfile.mkdtemp(
+        prefix="repro-telemetry-smoke-"
+    )
+    env = dict(os.environ)
+    env.setdefault("PYTHONPATH", "src")
+
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--workers", "2", "--cache-dir", cache_dir],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, env=env, text=True,
+    )
+    try:
+        banner = proc.stdout.readline()
+        print(banner.strip())
+        match = re.search(r"http://([\d.]+):(\d+)", banner)
+        if not match:
+            fail(f"no listen address in banner: {banner!r}")
+        host, port = match.group(1), int(match.group(2))
+
+        sys.path.insert(0, "src")
+        from repro.api.client import ApiClient
+        from repro.telemetry import ExpositionError, parse_exposition
+
+        client = ApiClient(host, port, tenant="ci")
+
+        # --- readiness -------------------------------------------------
+        ready, body = client.readyz()
+        if not ready:
+            fail(f"readyz not ready at boot: {body}")
+        print(f"readyz ok: {body['reason']}")
+
+        # --- live telemetry before terminal ----------------------------
+        run = client.submit_run(**RUN_BODY)
+        if run["cached"]:
+            fail("first submission must execute, not hit the cache")
+        events = list(client.stream_events(run["run_id"]))
+        names = [e["event"] for e in events]
+        seqs = [e["seq"] for e in events]
+        print(f"streamed {len(events)} events: {names}")
+        if seqs != sorted(seqs) or len(set(seqs)) != len(seqs):
+            fail(f"event seqs not strictly increasing: {seqs}")
+        if names[-1] != "completed":
+            fail(f"stream did not end terminal: {names}")
+        telemetry = [e for e in events if e["event"] == "telemetry"]
+        if not telemetry:
+            fail("no in-flight telemetry event arrived before terminal")
+        sample = telemetry[0]
+        for key in ("t_s", "progress", "dram_c", "pim_fraction", "engine"):
+            if key not in sample:
+                fail(f"telemetry sample missing {key!r}: {sample}")
+        print(
+            f"telemetry ok: {len(telemetry)} sample(s), first at "
+            f"t={sample['t_s']:.2e}s dram={sample['dram_c']:.1f}C "
+            f"frac={sample['pim_fraction']:.2f}"
+        )
+
+        # --- per-run series endpoint -----------------------------------
+        series = client.run_telemetry(run["run_id"])
+        if series["count"] < 1 or len(series["samples"]) != series["count"]:
+            fail(f"telemetry series endpoint inconsistent: {series}")
+        print(f"telemetry series endpoint ok ({series['count']} samples)")
+
+        # --- Prometheus scrape -----------------------------------------
+        text = client.metrics()
+        try:
+            parsed = parse_exposition(text)
+        except ExpositionError as exc:
+            fail(f"/metrics exposition does not parse: {exc}")
+        families = set(parsed["types"])
+        missing = [s for s in REQUIRED_SERIES if s not in families]
+        if missing:
+            fail(f"/metrics missing series: {missing} (saw {sorted(families)})")
+        print(f"/metrics ok: {len(families)} families, "
+              f"{len(parsed['samples'])} samples")
+    finally:
+        proc.send_signal(signal.SIGINT)
+        try:
+            rc = proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            fail("server did not shut down within 30s")
+        print(proc.stdout.read().strip())
+
+    if rc != 0:
+        fail(f"server exited {rc}")
+    print("TELEMETRY SMOKE PASSED")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,13 @@ Endpoint map (full reference in ``docs/SERVICE.md``)::
     GET  /admin/cache                 store/journal stats (repro cache --json shape)
     GET  /admin/tenants               fairness-layer stats
     GET  /healthz                     liveness + counters
+    GET  /readyz                      readiness (503 while draining/saturated)
+    GET  /metrics                     Prometheus text exposition (process-wide)
+    GET  /telemetry/runs/{id}         one run's in-flight telemetry series (JSON)
+
+Event streams resume: ``GET /runs/{id}/events`` honours the SSE
+``Last-Event-ID`` header (or ``?since=<seq>``) and replays from the next
+sequence number, so reconnecting followers see no duplicates.
 
 Wire formats deliberately reuse :mod:`repro.obs`: the metrics artifact is
 the exact ``repro.metrics/1`` document ``repro report`` renders, the
@@ -36,6 +43,7 @@ from repro.api.http import (
     HttpError,
     HttpServer,
     Request,
+    Response,
     Router,
     StreamResponse,
     json_response,
@@ -45,6 +53,7 @@ from repro.api.leaderboard import build_leaderboard
 from repro.api.schemas import (
     ValidationError,
     validate_run_request,
+    validate_since,
     validate_sweep_request,
     validate_tenant,
 )
@@ -164,9 +173,18 @@ def create_router(service: ApiService) -> Router:
     async def get_events(request: Request):
         rec = _get_run(request)  # 404 before we commit to a stream
         jsonl = _wants_jsonl(request)
+        try:
+            # SSE reconnects send Last-Event-ID; manual resumes can use
+            # ?since=<last seen seq>. Header wins when both are present.
+            since_seq = validate_since(
+                request.headers.get("last-event-id")
+                or request.query.get("since")
+            )
+        except ValidationError as exc:
+            raise HttpError(400, exc.message, field=exc.field) from exc
 
         async def sse_chunks() -> AsyncIterator[bytes]:
-            async for event in service.iter_events(rec.id):
+            async for event in service.iter_events(rec.id, since_seq):
                 data = json.dumps(event, sort_keys=True)
                 yield (
                     f"id: {event['seq']}\n"
@@ -176,7 +194,7 @@ def create_router(service: ApiService) -> Router:
             yield b"event: end\ndata: {}\n\n"
 
         async def jsonl_chunks() -> AsyncIterator[bytes]:
-            async for event in service.iter_events(rec.id):
+            async for event in service.iter_events(rec.id, since_seq):
                 yield (json.dumps(event, sort_keys=True) + "\n").encode("utf-8")
 
         if jsonl:
@@ -303,6 +321,70 @@ def create_router(service: ApiService) -> Router:
         return json_response({"status": "ok", "api": API_VERSION,
                               **service.stats()})
 
+    async def get_readyz(request: Request):
+        ok, reason = service.ready()
+        return json_response(
+            {"ready": ok, "reason": reason, "api": API_VERSION},
+            status=200 if ok else 503,
+        )
+
+    async def get_metrics(request: Request):
+        from repro.telemetry import CONTENT_TYPE, get_registry, render_exposition
+
+        reg = get_registry()
+        # Scrape-time gauges: cheap to read, pointless to maintain hot.
+        queue_depth = reg.gauge(
+            "repro_api_queue_depth",
+            help="Queued (not yet running) runs per tenant.",
+            labelnames=("tenant",),
+        )
+        wait_age = reg.gauge(
+            "repro_api_queue_wait_age_seconds",
+            help="Age of the oldest queued run per tenant.",
+            labelnames=("tenant",),
+        )
+        for tenant, tstats in service.queue.stats().items():
+            queue_depth.labels(tenant=tenant).set(tstats["queued"])
+            wait_age.labels(tenant=tenant).set(
+                service.queue.oldest_wait_s(tenant)
+            )
+        reg.gauge(
+            "repro_api_running", help="Runs currently executing."
+        ).set(service.stats()["running"])
+        reg.gauge(
+            "repro_api_sse_subscribers",
+            help="Live event-stream followers.",
+        ).set(service.sse_subscribers)
+        if service.store is not None:
+            try:
+                sstats = service.store.stats()
+                reg.gauge(
+                    "repro_store_entries",
+                    help="Result-store entry count.",
+                ).set(sstats.entries)
+                reg.gauge(
+                    "repro_store_bytes",
+                    help="Result-store payload bytes on disk.",
+                ).set(sstats.total_bytes)
+            except Exception:
+                pass  # a scrape must never 500 because the store is odd
+        return Response(
+            status=200,
+            body=render_exposition(reg).encode("utf-8"),
+            content_type=CONTENT_TYPE,
+        )
+
+    async def get_run_telemetry(request: Request):
+        rec = _get_run(request)
+        return json_response(
+            {
+                "run_id": rec.id,
+                "status": rec.status,
+                "samples": list(rec.telemetry),
+                "count": len(rec.telemetry),
+            }
+        )
+
     router.post("/runs", post_run)
     router.post("/sweeps", post_sweep)
     router.get("/runs/{id}", get_run)
@@ -316,6 +398,9 @@ def create_router(service: ApiService) -> Router:
     router.get("/admin/cache", get_admin_cache)
     router.get("/admin/tenants", get_admin_tenants)
     router.get("/healthz", get_healthz)
+    router.get("/readyz", get_readyz)
+    router.get("/metrics", get_metrics)
+    router.get("/telemetry/runs/{id}", get_run_telemetry)
     return router
 
 

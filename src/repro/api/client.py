@@ -87,6 +87,24 @@ class ApiClient:
     def healthz(self) -> Dict[str, Any]:
         return self._checked("GET", "/healthz")
 
+    def readyz(self) -> Tuple[bool, Dict[str, Any]]:
+        """(ready?, body) — 503 is a valid answer, not an error."""
+        status, doc = self.request("GET", "/readyz")
+        if status >= 400 and status != 503:
+            raise ApiClientError(status, doc)
+        return status == 200, doc
+
+    def metrics(self) -> str:
+        """Raw Prometheus text exposition from ``GET /metrics``."""
+        status, doc = self.request("GET", "/metrics")
+        if status >= 400:
+            raise ApiClientError(status, doc)
+        return doc if isinstance(doc, str) else json.dumps(doc)
+
+    def run_telemetry(self, run_id: str) -> Dict[str, Any]:
+        """One run's in-flight telemetry series."""
+        return self._checked("GET", f"/telemetry/runs/{run_id}")
+
     def submit_run(self, **body: Any) -> Dict[str, Any]:
         return self._checked("POST", "/runs", body)
 
@@ -111,15 +129,24 @@ class ApiClient:
     def artifact(self, run_id: str, name: str) -> Any:
         return self._checked("GET", f"/runs/{run_id}/artifacts/{name}")
 
-    def stream_events(self, run_id: str) -> Iterator[Dict[str, Any]]:
-        """Follow a run's JSONL event stream until its terminal event."""
+    def stream_events(
+        self, run_id: str, since: Optional[int] = None
+    ) -> Iterator[Dict[str, Any]]:
+        """Follow a run's JSONL event stream until its terminal event.
+
+        ``since`` is the seq of the last event already seen (the
+        ``Last-Event-ID`` contract): replay resumes after it.
+        """
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout_s
         )
+        path = f"/runs/{run_id}/events?format=jsonl"
+        if since is not None:
+            path += f"&since={since}"
         try:
             conn.request(
                 "GET",
-                f"/runs/{run_id}/events?format=jsonl",
+                path,
                 headers=self._headers({"Accept": "application/x-ndjson"}),
             )
             response = conn.getresponse()

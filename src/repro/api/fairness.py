@@ -110,6 +110,18 @@ class FairQueue:
         state = self._tenants.get(tenant)
         return len(state.queue) if state else 0
 
+    def oldest_wait_s(self, tenant: str) -> float:
+        """Seconds the tenant's queue head has been waiting (0 if empty).
+
+        The ``/metrics`` wait-age gauge: a rising value under steady
+        dispatch means the tenant is being out-weighted.
+        """
+        state = self._tenants.get(tenant)
+        if state is None or not state.queue:
+            return 0.0
+        _, enqueued = state.queue[0]
+        return max(0.0, self.clock() - enqueued)
+
     def capacity_for(self, tenant: str) -> int:
         """Remaining queue slots before the tenant's quota trips."""
         state = self._state(tenant)

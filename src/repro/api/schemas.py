@@ -120,6 +120,29 @@ def _timeout(body: Mapping[str, Any]) -> Optional[float]:
     return float(timeout)
 
 
+def validate_since(value: Any) -> int:
+    """Event-stream resume cursor: ``Last-Event-ID`` header or ``?since=``.
+
+    Both carry the seq of the last event the follower *saw*; replay
+    resumes at ``seq + 1``. ``None``/empty → 0 (full replay).
+    """
+    if value is None or value == "":
+        return 0
+    try:
+        last_seen = int(str(value).strip())
+    except ValueError:
+        raise ValidationError(
+            f"since must be a non-negative integer, got {value!r}",
+            field="since",
+        ) from None
+    if last_seen < 0:
+        raise ValidationError(
+            f"since must be a non-negative integer, got {value!r}",
+            field="since",
+        )
+    return last_seen + 1
+
+
 def validate_tenant(value: Any) -> str:
     """Normalize a tenant identifier (``None`` → the public tenant)."""
     if value is None or value == "":

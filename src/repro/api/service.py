@@ -43,6 +43,8 @@ from repro.service.jobs import JobFailure, JobResult, JobSpec
 from repro.service.journal import JobJournal
 from repro.service.scheduler import JobScheduler
 from repro.service.store import ResultStore
+from repro.telemetry.live import RunTelemetrySink, run_telemetry
+from repro.telemetry.registry import get_registry
 
 #: Run states; the last three are terminal.
 QUEUED, RUNNING = "queued", "running"
@@ -78,6 +80,10 @@ class RunRecord:
     elapsed_s: Optional[float] = None
     error: Optional[str] = None
     events: List[Dict[str, Any]] = field(default_factory=list)
+    #: In-flight telemetry samples (bounded copy of the ``telemetry``
+    #: events, kept separately so ``GET /telemetry/runs/{id}`` can serve
+    #: the series without scanning the event log).
+    telemetry: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def key(self) -> str:
@@ -130,6 +136,8 @@ class ApiService:
         use_cache: bool = True,
         allow_kinds: Sequence[str] = (),
         max_runs: int = 10_000,
+        ready_backlog: Optional[int] = None,
+        telemetry_max_samples: int = 64,
     ) -> None:
         self.store = store
         self.journal = journal
@@ -144,6 +152,14 @@ class ApiService:
         self.use_cache = use_cache
         self.allow_kinds = frozenset(allow_kinds)
         self.max_runs = max_runs
+        #: Queue depth beyond which ``/readyz`` reports saturated (503).
+        self.ready_backlog = (
+            ready_backlog
+            if ready_backlog is not None
+            else max(16, 8 * self.workers)
+        )
+        #: Per-run live-telemetry budget (``telemetry`` event cap).
+        self.telemetry_max_samples = telemetry_max_samples
 
         self.runs: Dict[str, RunRecord] = {}
         self.sweeps: Dict[str, Dict[str, Any]] = {}
@@ -154,6 +170,7 @@ class ApiService:
         self._followers: Dict[str, List[str]] = {}
         self._running = 0
         self._running_by_tenant: Counter = Counter()
+        self._sse_subscribers = 0
         self._closing = False
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._flag: Optional[asyncio.Event] = None
@@ -189,6 +206,7 @@ class ApiService:
             rec.finished_unix = time.time()
             rec.error = "server shut down before execution"
             self.counters["drained"] += 1
+            self._metric_run_done(DRAINED, None)
             self._journal(
                 "api_drained", run_id=rid, tenant=rec.tenant, key=rec.key,
                 spec=rec.spec.to_dict(),
@@ -247,6 +265,41 @@ class ApiService:
         rec.events.append(record)
         self._notify()
 
+    def _emit_telemetry(self, rec: RunRecord, sample: Dict[str, Any]) -> None:
+        """Append one in-flight telemetry sample (event-loop thread).
+
+        Samples arriving after the run went terminal (the executor thread
+        races the ``_on_done`` callback) are dropped: followers must never
+        see events after the terminal one.
+        """
+        if rec.status in TERMINAL_STATES:
+            return
+        rec.telemetry.append(sample)
+        self._emit(rec, "telemetry", **sample)
+
+    # -- process-wide telemetry (GET /metrics) -----------------------------
+
+    def _metric_count(self, status: str, tenant: str) -> None:
+        """Dual-write one submission outcome into the default registry."""
+        get_registry().counter(
+            "repro_api_requests_total",
+            help="API submissions by tenant and outcome.",
+            labelnames=("tenant", "status"),
+        ).labels(tenant=tenant, status=status).inc()
+
+    def _metric_run_done(self, status: str, elapsed_s: Optional[float]) -> None:
+        reg = get_registry()
+        reg.counter(
+            "repro_api_runs_total",
+            help="Terminal run outcomes.",
+            labelnames=("status",),
+        ).labels(status=status).inc()
+        if elapsed_s is not None:
+            reg.histogram(
+                "repro_api_run_seconds",
+                help="Run wall time from execution start to terminal.",
+            ).observe(elapsed_s)
+
     # -- submission --------------------------------------------------------
 
     def submit(
@@ -285,6 +338,7 @@ class ApiService:
             self.runs[rid] = rec
             self.counters["submitted"] += 1
             self.counters["cache_hits"] += 1
+            self._metric_count("cache_hit", tenant)
             self._journal(
                 "api_cache_hit", run_id=rid, tenant=tenant, key=spec.key
             )
@@ -302,6 +356,7 @@ class ApiService:
             self._followers.setdefault(spec.key, []).append(rid)
             self.counters["submitted"] += 1
             self.counters["coalesced"] += 1
+            self._metric_count("coalesced", tenant)
             self._journal(
                 "api_coalesced", run_id=rid, tenant=tenant, key=spec.key,
                 leader=leader,
@@ -316,12 +371,14 @@ class ApiService:
             position = self.queue.submit(tenant, rid)
         except Exception:
             self.counters["rejected"] += 1
+            self._metric_count("rejected", tenant)
             self._journal(
                 "api_rejected", tenant=tenant, key=spec.key, name=spec.name
             )
             raise
         self.runs[rid] = rec
         self.counters["submitted"] += 1
+        self._metric_count("accepted", tenant)
         self._leaders[spec.key] = rid
         self._journal(
             "api_submitted", run_id=rid, tenant=tenant, key=spec.key,
@@ -420,24 +477,47 @@ class ApiService:
         self._running_by_tenant[rec.tenant] += 1
         self._emit(rec, "started", tenant=rec.tenant)
         future = self._loop.run_in_executor(
-            self._executor, self._execute, rec.spec
+            self._executor, self._execute, rec
         )
         future.add_done_callback(
             lambda f, rec=rec: self._on_done(rec, f)
         )
 
-    def _execute(self, spec: JobSpec) -> Any:
-        """Worker-thread body: run one spec through the job scheduler."""
+    def _execute(self, rec: RunRecord) -> Any:
+        """Worker-thread body: run one spec through the job scheduler.
+
+        In serial mode (the default) the handler executes on *this*
+        thread, so a thread-local :class:`RunTelemetrySink` routes the
+        engine's in-flight samples back onto the event loop as
+        ``telemetry`` events. Pool mode forks the actual work into child
+        processes — no live channel there; fleet metrics still arrive via
+        the scheduler's delta pipe.
+        """
+        spec = rec.spec
+        loop = self._loop
         scheduler = JobScheduler(
             store=self.store,
             journal=self.journal,
             serial=not self.pool,
             use_cache=self.use_cache,
         )
-        report = scheduler.run([spec])
-        if spec.key in report.results:
-            return report.results[spec.key]
-        return report.failures[spec.key]
+
+        def run_spec() -> Any:
+            report = scheduler.run([spec])
+            if spec.key in report.results:
+                return report.results[spec.key]
+            return report.failures[spec.key]
+
+        if self.pool or loop is None:
+            return run_spec()
+        sink = RunTelemetrySink(
+            emit=lambda sample: loop.call_soon_threadsafe(
+                self._emit_telemetry, rec, sample
+            ),
+            max_samples=self.telemetry_max_samples,
+        )
+        with run_telemetry(sink):
+            return run_spec()
 
     def _on_done(self, rec: RunRecord, future: Any) -> None:
         """Executor-future callback (runs on the loop)."""
@@ -476,6 +556,11 @@ class ApiService:
         rec.elapsed_s = elapsed_s
         rec.cached = cached
         self.counters["completed"] += 1
+        # Cached/coalesced completions never executed here — only real
+        # executions feed the latency histogram.
+        self._metric_run_done(
+            COMPLETED, None if (cached or coalesced) else elapsed_s
+        )
         self._journal(
             "api_completed", run_id=rec.id, tenant=rec.tenant, key=rec.key,
             cached=cached, coalesced=coalesced, elapsed_s=elapsed_s,
@@ -500,6 +585,7 @@ class ApiService:
         rec.finished_unix = time.time()
         rec.error = f"{reason}: {message}"
         self.counters["failed"] += 1
+        self._metric_run_done(FAILED, None)
         self._journal(
             "api_failed", run_id=rec.id, tenant=rec.tenant, key=rec.key,
             reason=reason, message=message,
@@ -533,27 +619,58 @@ class ApiService:
 
     # -- event streaming ---------------------------------------------------
 
-    async def iter_events(self, run_id: str):
-        """Yield a run's events from seq 0, then follow live appends
-        until a terminal event has been delivered."""
+    async def iter_events(self, run_id: str, since_seq: int = 0):
+        """Yield a run's events from ``since_seq`` on, then follow live
+        appends until a terminal event has been delivered.
+
+        ``since_seq`` is the resume cursor (``Last-Event-ID`` + 1 on the
+        HTTP surface): a reconnecting follower passes the next seq it has
+        *not* seen and never receives duplicates. Events carry their seq,
+        so ordering is checkable client-side.
+        """
         rec = self.get_run(run_id)
-        cursor = 0
-        while True:
-            # Capture the flag BEFORE scanning: an emit between the scan
-            # and the wait sets this captured flag, so no lost wakeups.
-            assert self._flag is not None
-            flag = self._flag
-            while cursor < len(rec.events):
-                event = rec.events[cursor]
-                cursor += 1
-                yield event
-                if event["event"] in TERMINAL_STATES:
-                    return
-            if rec.status in TERMINAL_STATES:
-                return  # defensive: terminal without a terminal event
-            await flag.wait()
+        cursor = max(0, int(since_seq))
+        self._sse_subscribers += 1
+        try:
+            while True:
+                # Capture the flag BEFORE scanning: an emit between the
+                # scan and the wait sets this captured flag, so no lost
+                # wakeups.
+                assert self._flag is not None
+                flag = self._flag
+                while cursor < len(rec.events):
+                    event = rec.events[cursor]
+                    cursor += 1
+                    yield event
+                    if event["event"] in TERMINAL_STATES:
+                        return
+                if rec.status in TERMINAL_STATES:
+                    return  # defensive: terminal without a terminal event
+                await flag.wait()
+        finally:
+            self._sse_subscribers -= 1
 
     # -- introspection -----------------------------------------------------
+
+    def ready(self) -> Tuple[bool, str]:
+        """Readiness verdict for ``GET /readyz``.
+
+        Not ready while draining (load balancers should stop routing
+        here the moment shutdown starts) or while the fair queue is
+        saturated past ``ready_backlog`` (shed load before the quota
+        layer starts rejecting).
+        """
+        if self._closing:
+            return False, "draining"
+        if self.started_unix is None:
+            return False, "starting"
+        if len(self.queue) >= self.ready_backlog:
+            return False, f"saturated: {len(self.queue)} queued"
+        return True, "ok"
+
+    @property
+    def sse_subscribers(self) -> int:
+        return self._sse_subscribers
 
     def stats(self) -> Dict[str, Any]:
         return {
@@ -562,6 +679,7 @@ class ApiService:
             "running": self._running,
             "queued": len(self.queue),
             "runs_tracked": len(self.runs),
+            "sse_subscribers": self._sse_subscribers,
             "counters": dict(self.counters),
             "tenants": self.queue.stats(),
         }

@@ -384,7 +384,11 @@ def cmd_report(args) -> int:
     )
 
     path = Path(args.file)
-    doc = json.loads(path.read_text(encoding="utf-8"))
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"report: cannot read {path}: {exc}", file=sys.stderr)
+        return 2
 
     if "traceEvents" in doc:
         try:
@@ -414,12 +418,15 @@ def cmd_report(args) -> int:
     schema = doc.get("schema")
     if schema == METRICS_SCHEMA_ID:
         if args.diff:
-            print(
-                diff_metrics(load_metrics(path), load_metrics(args.diff)) or
-                "no metric differences\n",
-                end="",
-            )
-            return 0
+            # Diff contract: 0 = identical, 1 = differences, 2 = error
+            # (bad/missing file) — scriptable like diff(1).
+            try:
+                delta = diff_metrics(load_metrics(path), load_metrics(args.diff))
+            except (OSError, ValueError, json.JSONDecodeError) as exc:
+                print(f"report --diff: {exc}", file=sys.stderr)
+                return 2
+            print(delta or "no metric differences\n", end="")
+            return 1 if delta else 0
         print(render_report(doc), end="")
         return 0
     if schema == MANIFEST_SCHEMA_ID:
@@ -431,6 +438,22 @@ def cmd_report(args) -> int:
         file=sys.stderr,
     )
     return 1
+
+
+def cmd_bench_trend(args) -> int:
+    """Compare BENCH_*.json artifacts against committed baselines."""
+    from pathlib import Path
+
+    from repro.telemetry.trend import run_trend
+
+    code, report = run_trend(
+        bench_dir=Path(args.dir),
+        baselines_path=Path(args.baselines),
+        report_path=Path(args.report) if args.report else None,
+        check=args.check,
+    )
+    print(report, end="", file=sys.stderr if code == 2 else sys.stdout)
+    return code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -552,7 +575,25 @@ def build_parser() -> argparse.ArgumentParser:
                           help="comma-separated trace layers that must be "
                                "present (exit 1 otherwise)")
     report_p.add_argument("--diff", default=None, metavar="FILE2",
-                          help="diff a second metrics JSON against the first")
+                          help="diff a second metrics JSON against the first "
+                               "(exit 0 equal, 1 changed, 2 error)")
+
+    trend_p = sub.add_parser(
+        "bench-trend",
+        help="compare BENCH_*.json against benchmarks/baselines.json",
+    )
+    trend_p.add_argument("--dir", default=".", metavar="DIR",
+                         help="directory holding BENCH_*.json artifacts "
+                              "(default: .)")
+    trend_p.add_argument("--baselines", default="benchmarks/baselines.json",
+                         metavar="FILE",
+                         help="committed baselines document")
+    trend_p.add_argument("--report", default=None, metavar="FILE",
+                         help="also write the trend report to FILE")
+    trend_p.add_argument("--check", action="store_true",
+                         help="exit 1 on any out-of-tolerance metric "
+                              "(the CI gate); without it the report is "
+                              "informational")
     return parser
 
 
@@ -568,6 +609,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "serve": cmd_serve,
         "trace": cmd_trace,
         "report": cmd_report,
+        "bench-trend": cmd_bench_trend,
     }
     return handlers[args.command](args)
 

@@ -267,6 +267,10 @@ class MacroEngine:
             sim.thermal.peak_dram_c() if not self.exempt
             else sim.thermal.ambient_c
         )
+        #: Last *committed* DRAM peak (°C) — the live-telemetry readout.
+        #: Updated only at scalar steps and burst commits, so emission
+        #: never observes speculative state.
+        self.last_temp_c = self.peak_temp
         self.phase_time = {p.name: 0.0 for p in TemperaturePhase}
         self.timeline: List[Tuple[float, float, float, float]] = []
         self.next_sample = 0.0
@@ -279,6 +283,13 @@ class MacroEngine:
         self.state = None
         trace = launch.trace
         self.launch_trace = trace
+        # Live telemetry: sampled only here, between committed steps or
+        # bursts — the speculative march never emits, so attaching a
+        # sink cannot perturb the bit-equality contract.
+        from repro.telemetry.live import get_run_sink
+
+        sink = get_run_sink()
+        total_epochs = max(1, len(trace))
         while True:
             if self.state is None:
                 batch = trace.next()
@@ -299,6 +310,23 @@ class MacroEngine:
                 self._scalar_step()
             elif self._try_burst() == 0:
                 self._scalar_step()
+            if sink is not None and self.now_s >= sink.next_due_s:
+                pool = getattr(policy, "pool", None)
+                sink.emit_sample({
+                    "t_s": self.now_s,
+                    "progress": trace.position / total_epochs,
+                    "dram_c": self.last_temp_c,
+                    "pim_fraction": self.frac_tw.value,
+                    "tokens": pool.size if pool is not None else None,
+                    "warnings": self.warnings,
+                    "shutdowns": self.shutdowns,
+                    "avg_link_gbs": (
+                        self.link_bytes / self.now_s / 1e9
+                        if self.now_s > 0 else 0.0
+                    ),
+                    "phase": sim.flow.phase.name,
+                    "engine": "macro",
+                })
 
         self._materialize()
         if scen is not None:
@@ -458,6 +486,7 @@ class MacroEngine:
                 sim.flow.phase = TemperaturePhase.NORMAL
                 sim.sensor.reset()
                 sim.flow.set_thermal_warning(False)
+            self.last_temp_c = temp_c
         else:
             phase = TemperaturePhase.NORMAL
             temp_c = sim.thermal.ambient_c
@@ -932,6 +961,7 @@ class MacroEngine:
         elif warning:
             self.warnings += j
         self.peak_temp = max(self.peak_temp, float(temps[:j].max()))
+        self.last_temp_c = float(temps[j - 1])
         if fraction != self.frac_tw.value:
             self.frac_tw.update(fraction, t0)
         self.dt_hist.add_many(np.asarray(cols[0][:j]))

@@ -272,11 +272,51 @@ class SystemSimulator:
 
     def run(self, launch: KernelLaunch, policy: "OffloadPolicy") -> SimulationResult:
         """Execute the launch under ``policy``; returns run aggregates."""
+        wall_t0 = _time.perf_counter()
         if self.engine == "macro":
             from repro.gpu.macro import MacroEngine
 
-            return MacroEngine(self).run(launch, policy)
-        return self._run_stepped(launch, policy)
+            result = MacroEngine(self).run(launch, policy)
+        else:
+            result = self._run_stepped(launch, policy)
+        self._record_run_telemetry(result, _time.perf_counter() - wall_t0)
+        return result
+
+    def _record_run_telemetry(
+        self, result: SimulationResult, wall_s: float
+    ) -> None:
+        """Fold run aggregates into the process-wide telemetry registry.
+
+        One handful of counter bumps per *run* (never per step), so the
+        fleet-level series — scraped at ``GET /metrics`` and shipped
+        from pool workers through the scheduler's delta pipe — cost
+        nothing measurable against the control loop.
+        """
+        from repro.telemetry import get_registry
+
+        reg = get_registry()
+        labels = {"engine": self.engine}
+        reg.counter(
+            "repro_sim_runs_total", "Completed simulator runs", ("engine",)
+        ).labels(**labels).inc()
+        reg.counter(
+            "repro_sim_control_steps_total",
+            "Control quanta executed across all runs", ("engine",),
+        ).labels(**labels).inc(
+            self.stats.scoped("sim").counter("control_steps").value
+        )
+        reg.counter(
+            "repro_sim_thermal_warnings_total",
+            "Thermal warnings delivered across all runs", ("engine",),
+        ).labels(**labels).inc(result.thermal_warnings)
+        reg.counter(
+            "repro_sim_shutdowns_total",
+            "Overheat shutdowns across all runs", ("engine",),
+        ).labels(**labels).inc(result.shutdowns)
+        reg.histogram(
+            "repro_sim_run_wall_seconds",
+            "Wall-clock duration of simulator runs", ("engine",),
+        ).labels(**labels).observe(wall_s)
 
     def _run_stepped(
         self, launch: KernelLaunch, policy: "OffloadPolicy"
@@ -301,6 +341,13 @@ class SystemSimulator:
 
         tracer = get_tracer()
         traced = tracer.enabled
+        # Live telemetry: resolved once per run; when no sink is
+        # installed the per-step cost is a single None test (the same
+        # discipline as the tracer's NULL_SPAN fast path).
+        from repro.telemetry.live import get_run_sink
+
+        sink = get_run_sink()
+        total_epochs = max(1, len(launch.trace))
         wall_t0 = _time.perf_counter()
         stats = self.stats.scoped("sim")
         dt_hist = stats.histogram(
@@ -511,6 +558,23 @@ class SystemSimulator:
                     next_sample = (
                         math.floor(now_s / self.timeline_dt_s) + 1.0
                     ) * self.timeline_dt_s
+
+                if sink is not None and now_s >= sink.next_due_s:
+                    pool = getattr(policy, "pool", None)
+                    sink.emit_sample({
+                        "t_s": now_s,
+                        "progress": launch.trace.position / total_epochs,
+                        "dram_c": temp_c,
+                        "pim_fraction": fraction,
+                        "tokens": pool.size if pool is not None else None,
+                        "warnings": warnings,
+                        "shutdowns": shutdowns,
+                        "avg_link_gbs": (
+                            link_bytes / now_s / 1e9 if now_s > 0 else 0.0
+                        ),
+                        "phase": phase.name,
+                        "engine": "stepped",
+                    })
 
             if traced:
                 tracer.complete(

@@ -82,15 +82,19 @@ def flatten_stats(stats: Dict[str, Dict[str, Any]]) -> Dict[str, Any]:
 
 
 def render_report(doc: Dict[str, Any]) -> str:
-    """Deterministic, line-per-scalar text rendering of a metrics doc."""
+    """Deterministic, line-per-scalar text rendering of a metrics doc.
+
+    Degenerate histograms (zero observations) render ``count 0`` and
+    null quantiles as ``-`` — a report never raises on an empty series.
+    """
     lines: List[str] = [f"# metrics ({doc.get('schema', '?')})"]
     meta = doc.get("meta") or {}
     for key in sorted(meta):
         lines.append(f"# {key}: {_fmt(meta[key])}")
     flat = flatten_stats(doc.get("stats") or {})
     width = max((len(k) for k in flat), default=0)
-    for key, value in flat.items():
-        lines.append(f"{key.ljust(width)}  {_fmt(value)}")
+    for key in sorted(flat):
+        lines.append(f"{key.ljust(width)}  {_fmt(flat[key])}")
     return "\n".join(lines) + "\n"
 
 

@@ -74,12 +74,20 @@ def _worker_run(
     spec_dict: Dict[str, Any],
     attempt: int = 1,
     scratch_dir: Optional[str] = None,
+    collect_telemetry: bool = False,
 ) -> Dict[str, Any]:
     """Execute one job attempt (module-level: must be picklable).
 
     Runs in a pool worker (or inline in serial mode). Arms a ``SIGALRM``
     timer for the spec's timeout so a hung job raises
     :class:`JobTimeoutError` instead of wedging its pool slot forever.
+
+    ``collect_telemetry`` is set on *pooled* attempts only: the worker
+    flushes its process-local telemetry registry deltas into the result
+    dict, and the parent merges them into its own series — the
+    worker→parent half of the ``GET /metrics`` pipe. Serial attempts
+    record straight into the parent registry, so flushing there would
+    double-count.
     """
     spec = JobSpec.from_dict(spec_dict)
     if scratch_dir:
@@ -120,11 +128,18 @@ def _worker_run(
             f"job handler for kind {spec.kind!r} must return a dict, "
             f"got {type(payload).__name__}"
         )
-    return {
+    out = {
         "payload": payload,
         "elapsed_s": time.perf_counter() - start,
         "pid": os.getpid(),
     }
+    if collect_telemetry:
+        from repro.telemetry import get_registry
+
+        deltas = get_registry().flush_deltas()
+        if deltas is not None:
+            out["telemetry"] = deltas
+    return out
 
 
 @dataclass
@@ -223,6 +238,25 @@ class JobScheduler:
         if self.journal is not None:
             self.journal.append(event, **fields)
 
+    # -- fleet metrics -----------------------------------------------------
+
+    @staticmethod
+    def _job_metric(
+        status: str, spec: JobSpec, elapsed_s: Optional[float] = None
+    ) -> None:
+        """One bump per job outcome into the process-wide registry."""
+        from repro.telemetry import get_registry
+
+        reg = get_registry()
+        reg.counter(
+            "repro_jobs_total", "Job outcomes by kind and status",
+            ("kind", "status"),
+        ).labels(kind=spec.kind, status=status).inc()
+        if elapsed_s is not None:
+            reg.histogram(
+                "repro_job_seconds", "Job handler latency", ("kind",),
+            ).labels(kind=spec.kind).observe(elapsed_s)
+
     # -- public API -------------------------------------------------------
 
     def run(self, specs: Sequence[JobSpec]) -> SweepReport:
@@ -259,6 +293,7 @@ class JobScheduler:
                     cached=True,
                 )
                 report.cache_hits += 1
+                self._job_metric("cache_hit", spec)
                 self._log("cache_hit", key=spec.key, name=spec.name)
                 tracer.instant(
                     "scheduler.cache_hit", cat="scheduler", job=spec.name
@@ -279,6 +314,7 @@ class JobScheduler:
                         leaders.append(spec)
                     else:
                         followers.append((spec, flight))
+                        self._job_metric("coalesced", spec)
                         self._log("coalesced", key=spec.key, name=spec.name)
                         tracer.instant(
                             "scheduler.coalesced", cat="scheduler", job=spec.name
@@ -372,6 +408,26 @@ class JobScheduler:
         )
         report.results[spec.key] = result
         report.executed += 1
+        deltas = out.get("telemetry")
+        if deltas is not None:
+            # Worker→parent pipe: fold the worker's registry deltas into
+            # the parent's process-wide series and journal the flush.
+            from repro.telemetry import get_registry
+
+            try:
+                get_registry().merge(deltas)
+                self._log(
+                    "telemetry_flush",
+                    key=spec.key,
+                    pid=result.worker_pid,
+                    counters=len(deltas.get("counters", ())),
+                    gauges=len(deltas.get("gauges", ())),
+                    histograms=len(deltas.get("histograms", ())),
+                )
+            except ValueError as exc:
+                self._log("telemetry_flush_error", key=spec.key,
+                          message=str(exc))
+        self._job_metric("completed", spec, result.elapsed_s)
         if self.store is not None:
             self.store.put(spec, result.payload, elapsed_s=result.elapsed_s)
         # Store write precedes the publish: a woken follower (or anyone
@@ -419,6 +475,7 @@ class JobScheduler:
             attempts=attempts,
         )
         report.failures[spec.key] = failure
+        self._job_metric("failed", spec)
         self._publish(spec.key, failure)
         self._log(
             "failed",
@@ -555,7 +612,8 @@ class JobScheduler:
                 qexec = ProcessPoolExecutor(max_workers=1, mp_context=ctx)
                 try:
                     fut = qexec.submit(
-                        _worker_run, spec.to_dict(), attempt, scratch
+                        _worker_run, spec.to_dict(), attempt, scratch,
+                        True,
                     )
                     try:
                         out = fut.result()
@@ -591,7 +649,8 @@ class JobScheduler:
                 while waiting and waiting[0][0] <= now:
                     _, _, spec, attempt = heapq.heappop(waiting)
                     fut = executor.submit(
-                        _worker_run, spec.to_dict(), attempt, scratch
+                        _worker_run, spec.to_dict(), attempt, scratch,
+                        True,
                     )
                     in_flight[fut] = (spec, attempt)
 

@@ -205,19 +205,21 @@ class Histogram:
         w = (self.hi - self.lo) / self.nbins
         return [self.lo + i * w for i in range(self.nbins + 1)]
 
-    def percentile(self, q: float) -> float:
+    def percentile(self, q: float) -> Optional[float]:
         """Estimate the ``q``-th percentile (``0 <= q <= 100``).
 
         Walks the cumulative bin counts and interpolates linearly within
         the containing bin. Samples in the underflow bucket are treated
         as sitting at ``lo``, overflow at ``hi`` — the estimate is
-        clamped to the histogram range by construction. Raises
-        :class:`ValueError` for an empty histogram or ``q`` out of range.
+        clamped to the histogram range by construction. Returns ``None``
+        for an empty histogram (degenerate series render as ``n=0``
+        downstream, they never raise); raises :class:`ValueError` only
+        for ``q`` out of range.
         """
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile out of [0, 100]: {q}")
         if self.count == 0:
-            raise ValueError(f"percentile of empty histogram {self.name!r}")
+            return None
         target = q / 100.0 * self.count
         cum = self.underflow
         if target <= cum:
@@ -354,7 +356,8 @@ def _describe(stat: object) -> Dict[str, object]:
             "elapsed": stat.elapsed,
         }
     if isinstance(stat, Histogram):
-        empty = stat.count == 0
+        # percentile() is None-safe on empty histograms, so degenerate
+        # series describe as n=0 with null quantiles instead of raising.
         return {
             "type": "histogram",
             "count": stat.count,
@@ -363,8 +366,8 @@ def _describe(stat: object) -> Dict[str, object]:
             "hi": stat.hi,
             "underflow": stat.underflow,
             "overflow": stat.overflow,
-            "p50": None if empty else stat.percentile(50),
-            "p90": None if empty else stat.percentile(90),
-            "p99": None if empty else stat.percentile(99),
+            "p50": stat.percentile(50),
+            "p90": stat.percentile(90),
+            "p99": stat.percentile(99),
         }
     raise TypeError(f"unknown stat type: {type(stat).__name__}")

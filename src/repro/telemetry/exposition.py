@@ -1,0 +1,239 @@
+"""Prometheus text exposition (format 0.0.4) encode + validate.
+
+:func:`render_exposition` turns a :class:`~repro.telemetry.registry.
+TelemetryRegistry` into the plain-text scrape format every Prometheus-
+compatible collector understands — no client library dependency, just
+the spec: ``# HELP``/``# TYPE`` headers, label escaping, histogram
+``_bucket{le=...}``/``_sum``/``_count`` expansion with cumulative
+buckets ending at ``+Inf``.
+
+:func:`parse_exposition` is the matching validator (used by the
+telemetry smoke script and the test suite): it re-reads an exposition
+body into structured samples and enforces the invariants a scraper
+relies on — metric-name syntax, types declared before samples, bucket
+counts monotonically non-decreasing, ``_count`` equal to the ``+Inf``
+bucket.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.telemetry.registry import TelemetryRegistry
+
+#: Prometheus content type for the text format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?\s+(?P<value>\S+)\s*$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'\s*(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*"(?P<val>(?:[^"\\]|\\.)*)"\s*(?:,|$)'
+)
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+_UNESCAPE_RE = re.compile(r"\\(.)")
+_UNESCAPE_MAP = {"n": "\n", '"': '"', "\\": "\\"}
+
+
+def _unescape_label(value: str) -> str:
+    # Single pass: sequential str.replace would corrupt an escaped
+    # backslash followed by a literal 'n' (``\\n`` is "\" + "n", not a
+    # newline).
+    return _UNESCAPE_RE.sub(
+        lambda m: _UNESCAPE_MAP.get(m.group(1), m.group(0)), value
+    )
+
+
+def _fmt_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _fmt_labels(items: Tuple[Tuple[str, str], ...]) -> str:
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{_escape_label(v)}"' for k, v in items)
+    return "{" + body + "}"
+
+
+def render_exposition(registry: TelemetryRegistry) -> str:
+    """Render every series of ``registry`` as Prometheus text format."""
+    lines: List[str] = []
+    for fam in registry.families():
+        if not _NAME_RE.match(fam.name):
+            raise ValueError(f"invalid metric name: {fam.name!r}")
+        if fam.help:
+            help_text = fam.help.replace("\\", r"\\").replace("\n", r"\n")
+            lines.append(f"# HELP {fam.name} {help_text}")
+        lines.append(f"# TYPE {fam.name} {fam.kind}")
+        for child in fam.children():
+            labels = child.labels
+            if fam.kind == "histogram":
+                cumulative = child.cumulative_counts()
+                edges = [*child.bounds, math.inf]
+                for bound, count in zip(edges, cumulative):
+                    le = ("+Inf" if bound == math.inf
+                          else _fmt_value(bound))
+                    items = labels + (("le", le),)
+                    lines.append(
+                        f"{fam.name}_bucket{_fmt_labels(items)} {count}"
+                    )
+                lines.append(
+                    f"{fam.name}_sum{_fmt_labels(labels)} "
+                    f"{_fmt_value(child.sum)}"
+                )
+                lines.append(
+                    f"{fam.name}_count{_fmt_labels(labels)} {child.count}"
+                )
+            else:
+                lines.append(
+                    f"{fam.name}{_fmt_labels(labels)} "
+                    f"{_fmt_value(child.value)}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+class ExpositionError(ValueError):
+    """The text body is not valid Prometheus exposition."""
+
+
+def _parse_labels(body: Optional[str]) -> Dict[str, str]:
+    if not body:
+        return {}
+    labels: Dict[str, str] = {}
+    pos = 0
+    while pos < len(body):
+        m = _LABEL_PAIR_RE.match(body, pos)
+        if m is None:
+            raise ExpositionError(f"malformed label body: {body!r}")
+        labels[m.group("key")] = _unescape_label(m.group("val"))
+        pos = m.end()
+    return labels
+
+
+def _base_name(sample_name: str, types: Mapping[str, str]) -> str:
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return sample_name
+
+
+def parse_exposition(text: str) -> Dict[str, Any]:
+    """Parse + validate an exposition body.
+
+    Returns ``{"types": {name: kind}, "samples": [(name, labels, value)]}``
+    with histogram sample names left expanded (``*_bucket`` etc.).
+    Raises :class:`ExpositionError` on any violation of the format.
+    """
+    types: Dict[str, str] = {}
+    samples: List[Tuple[str, Dict[str, str], float]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) != 4 or parts[3] not in (
+                "counter", "gauge", "histogram", "summary", "untyped"
+            ):
+                raise ExpositionError(f"line {lineno}: bad TYPE line: {line!r}")
+            if not _NAME_RE.match(parts[2]):
+                raise ExpositionError(
+                    f"line {lineno}: bad metric name in TYPE: {parts[2]!r}"
+                )
+            if parts[2] in types:
+                raise ExpositionError(
+                    f"line {lineno}: duplicate TYPE for {parts[2]!r}"
+                )
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # HELP / comments
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ExpositionError(f"line {lineno}: unparsable sample: {line!r}")
+        name = m.group("name")
+        labels = _parse_labels(m.group("labels"))
+        for key in labels:
+            if not _LABEL_RE.match(key):
+                raise ExpositionError(
+                    f"line {lineno}: bad label name {key!r}"
+                )
+        value_text = m.group("value")
+        try:
+            value = float(value_text.replace("+Inf", "inf").replace(
+                "-Inf", "-inf"))
+        except ValueError:
+            raise ExpositionError(
+                f"line {lineno}: bad sample value {value_text!r}"
+            )
+        base = _base_name(name, types)
+        if base not in types:
+            raise ExpositionError(
+                f"line {lineno}: sample {name!r} has no TYPE declaration"
+            )
+        samples.append((name, labels, value))
+
+    _validate_histograms(types, samples)
+    return {"types": types, "samples": samples}
+
+
+def _validate_histograms(
+    types: Mapping[str, str],
+    samples: List[Tuple[str, Dict[str, str], float]],
+) -> None:
+    buckets: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], List[Tuple[float, float]]] = {}
+    counts: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+    for name, labels, value in samples:
+        base = _base_name(name, types)
+        if types.get(base) != "histogram":
+            continue
+        key_labels = tuple(sorted(
+            (k, v) for k, v in labels.items() if k != "le"
+        ))
+        if name.endswith("_bucket"):
+            if "le" not in labels:
+                raise ExpositionError(f"bucket sample missing le: {name}")
+            le = float(labels["le"].replace("+Inf", "inf"))
+            buckets.setdefault((base, key_labels), []).append((le, value))
+        elif name.endswith("_count"):
+            counts[(base, key_labels)] = value
+    for (base, key_labels), entries in buckets.items():
+        entries.sort(key=lambda e: e[0])
+        last = -math.inf
+        running = -1.0
+        for le, value in entries:
+            if le <= last:
+                raise ExpositionError(f"duplicate le bucket in {base}")
+            if value < running:
+                raise ExpositionError(
+                    f"histogram {base} bucket counts decrease at le={le}"
+                )
+            last, running = le, value
+        if entries[-1][0] != math.inf:
+            raise ExpositionError(f"histogram {base} missing +Inf bucket")
+        total = counts.get((base, key_labels))
+        if total is not None and total != entries[-1][1]:
+            raise ExpositionError(
+                f"histogram {base} _count {total} != +Inf bucket "
+                f"{entries[-1][1]}"
+            )

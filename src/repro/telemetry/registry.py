@@ -1,0 +1,409 @@
+"""Label-aware time-series metric registry.
+
+The fleet-level counterpart of :class:`repro.sim.stats.StatRegistry`:
+where the sim registry describes *one run* and is reset per run, this
+registry accumulates **process-wide** series — submissions per tenant,
+job latency histograms, simulator run counters — and renders them in
+Prometheus text exposition (:mod:`repro.telemetry.exposition`) for the
+``GET /metrics`` scrape surface.
+
+Design constraints, in the spirit of the tracer's NULL_SPAN fast path
+(:mod:`repro.obs.tracer`):
+
+- **Lock-light.** A single registry lock guards family/child *creation*
+  only; recording (``inc``/``set``/``observe``) touches plain attributes
+  under the GIL. Metrics are recorded at run/job boundaries — never
+  inside the control loop — so contention is negligible by construction.
+- **Near-zero when unobserved.** Handles are resolved once and cached by
+  callers (``family.labels(...)`` memoizes children); recording is a few
+  attribute writes. Nothing is formatted, serialized, or copied until a
+  collector actually scrapes.
+- **Delta-flushable.** Forked pool workers accumulate into their own
+  (inherited) registry and ship compact deltas back through the job
+  result pipe (:meth:`TelemetryRegistry.flush_deltas`); the parent folds
+  them into its own series (:meth:`TelemetryRegistry.merge`), so
+  ``/metrics`` covers the whole worker fleet.
+
+Histograms keep both Prometheus-style cumulative bucket counts *and* a
+bounded ring buffer of recent raw samples, so quantile estimates
+(:meth:`Histogram.percentile`) stay sharp without unbounded memory.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, Iterable, List, Mapping, Optional, Tuple
+
+#: Schema identifier stamped on flushed delta documents.
+DELTA_SCHEMA_ID = "repro.telemetry-delta/1"
+
+#: Default histogram bucket upper bounds (seconds-flavoured, like
+#: Prometheus' own defaults; callers override for other units).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: Bound on the raw-sample ring buffer per histogram child.
+DEFAULT_SAMPLE_WINDOW = 256
+
+
+def _label_items(
+    labelnames: Tuple[str, ...], labels: Mapping[str, Any]
+) -> Tuple[Tuple[str, str], ...]:
+    if set(labels) != set(labelnames):
+        raise ValueError(
+            f"labels {sorted(labels)} do not match declared "
+            f"labelnames {sorted(labelnames)}"
+        )
+    return tuple((name, str(labels[name])) for name in labelnames)
+
+
+class Counter:
+    """Monotonic counter (one labelled child)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...] = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self._flushed = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0: {amount}")
+        self.value += amount
+
+    def _delta(self) -> float:
+        delta = self.value - self._flushed
+        self._flushed = self.value
+        return delta
+
+
+class Gauge:
+    """Last-value-wins instantaneous measurement."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...] = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Cumulative-bucket histogram plus a bounded sample ring.
+
+    ``bounds`` are the inclusive upper edges of the finite buckets; one
+    implicit ``+Inf`` bucket catches the overflow. ``percentile`` is
+    estimated from the raw-sample ring (the most recent
+    ``sample_window`` observations) and returns ``None`` on an empty
+    histogram — degenerate series render as ``n=0``, they never raise.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: Tuple[Tuple[str, str], ...] = (),
+        bounds: Tuple[float, ...] = DEFAULT_BUCKETS,
+        sample_window: int = DEFAULT_SAMPLE_WINDOW,
+    ):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(f"bucket bounds must be sorted and non-empty: {bounds}")
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(float(b) for b in bounds)
+        # Per-bucket (non-cumulative) counts; exposition cumulates them.
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self.samples: Deque[float] = deque(maxlen=sample_window)
+        self._flushed_counts = [0] * (len(self.bounds) + 1)
+        self._flushed_sum = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        idx = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                idx = i
+                break
+        self.counts[idx] += 1
+        self.sum += value
+        self.count += 1
+        self.samples.append(value)
+
+    def percentile(self, q: float) -> Optional[float]:
+        """q-th percentile (0..100) of the ring samples; None when empty."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100]: {q}")
+        if not self.samples:
+            return None
+        ordered = sorted(self.samples)
+        rank = q / 100.0 * (len(ordered) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = rank - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def cumulative_counts(self) -> List[int]:
+        """Prometheus ``le`` buckets: running totals incl. ``+Inf``."""
+        out: List[int] = []
+        running = 0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return out
+
+    def _delta(self) -> Optional[Dict[str, Any]]:
+        counts = [c - f for c, f in zip(self.counts, self._flushed_counts)]
+        if not any(counts):
+            return None
+        delta = {
+            "bounds": list(self.bounds),
+            "counts": counts,
+            "sum": self.sum - self._flushed_sum,
+            "samples": list(self.samples)[-sum(counts):],
+        }
+        self._flushed_counts = list(self.counts)
+        self._flushed_sum = self.sum
+        return delta
+
+    def _merge(self, delta: Mapping[str, Any]) -> None:
+        if tuple(delta["bounds"]) != self.bounds:
+            raise ValueError(
+                f"histogram {self.name!r} bucket bounds mismatch on merge"
+            )
+        for i, c in enumerate(delta["counts"]):
+            self.counts[i] += int(c)
+        self.sum += float(delta["sum"])
+        self.count += int(sum(delta["counts"]))
+        for s in delta.get("samples", ()):
+            self.samples.append(float(s))
+
+
+_CHILD_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """One named metric and its per-label-set children."""
+
+    def __init__(
+        self,
+        registry: "TelemetryRegistry",
+        kind: str,
+        name: str,
+        help: str,
+        labelnames: Tuple[str, ...],
+        **child_kwargs: Any,
+    ):
+        self.registry = registry
+        self.kind = kind
+        self.name = name
+        self.help = help
+        self.labelnames = labelnames
+        self._child_kwargs = child_kwargs
+        self._children: Dict[Tuple[Tuple[str, str], ...], Any] = {}
+        self._default = None if labelnames else self._make(())
+
+    def _make(self, items: Tuple[Tuple[str, str], ...]):
+        child = _CHILD_TYPES[self.kind](self.name, items, **self._child_kwargs)
+        self._children[items] = child
+        return child
+
+    def labels(self, **labels: Any):
+        """The child bound to this label set (created on first use)."""
+        items = _label_items(self.labelnames, labels)
+        child = self._children.get(items)
+        if child is None:
+            with self.registry._lock:
+                child = self._children.get(items) or self._make(items)
+        return child
+
+    def children(self) -> List[Any]:
+        return list(self._children.values())
+
+    # Unlabelled families act as their own single child.
+    def inc(self, amount: float = 1.0) -> None:
+        self._default.inc(amount)
+
+    def set(self, value: float) -> None:
+        self._default.set(value)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default.dec(amount)
+
+    def observe(self, value: float) -> None:
+        self._default.observe(value)
+
+    def percentile(self, q: float) -> Optional[float]:
+        return self._default.percentile(q)
+
+    @property
+    def value(self) -> float:
+        return self._default.value
+
+
+class TelemetryRegistry:
+    """Process-wide collection of metric families."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._families: Dict[str, MetricFamily] = {}
+
+    def _family(self, kind: str, name: str, help: str,
+                labelnames: Iterable[str], **kwargs: Any) -> MetricFamily:
+        labelnames = tuple(labelnames)
+        with self._lock:
+            fam = self._families.get(name)
+            if fam is not None:
+                if fam.kind != kind or fam.labelnames != labelnames:
+                    raise ValueError(
+                        f"metric {name!r} already registered as {fam.kind} "
+                        f"with labels {fam.labelnames}"
+                    )
+                return fam
+            fam = MetricFamily(self, kind, name, help, labelnames, **kwargs)
+            self._families[name] = fam
+            return fam
+
+    def counter(self, name: str, help: str = "",
+                labelnames: Iterable[str] = ()) -> MetricFamily:
+        return self._family("counter", name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Iterable[str] = ()) -> MetricFamily:
+        return self._family("gauge", name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Iterable[str] = (),
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+        sample_window: int = DEFAULT_SAMPLE_WINDOW,
+    ) -> MetricFamily:
+        return self._family(
+            "histogram", name, help, labelnames,
+            bounds=tuple(buckets), sample_window=sample_window,
+        )
+
+    def families(self) -> List[MetricFamily]:
+        with self._lock:
+            return list(self._families.values())
+
+    def clear(self) -> None:
+        """Drop every family (test isolation)."""
+        with self._lock:
+            self._families.clear()
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-friendly dump of every series (admin/debug surface)."""
+        out: Dict[str, Any] = {}
+        for fam in self.families():
+            series = []
+            for child in fam.children():
+                entry: Dict[str, Any] = {"labels": dict(child.labels)}
+                if fam.kind == "histogram":
+                    entry.update(
+                        count=child.count, sum=child.sum,
+                        p50=child.percentile(50), p99=child.percentile(99),
+                    )
+                else:
+                    entry["value"] = child.value
+                series.append(entry)
+            out[fam.name] = {"type": fam.kind, "help": fam.help,
+                             "series": series}
+        return out
+
+    # -- worker → parent delta pipe ---------------------------------------
+
+    def flush_deltas(self) -> Optional[Dict[str, Any]]:
+        """Changes since the previous flush, or None when quiescent.
+
+        Counters/histograms ship increments (mergeable), gauges ship
+        their current value (last-writer-wins). Advances the per-child
+        flush watermarks, so repeated flushes never double-count.
+        """
+        counters: List[List[Any]] = []
+        gauges: List[List[Any]] = []
+        histograms: List[List[Any]] = []
+        for fam in self.families():
+            for child in fam.children():
+                items = [list(kv) for kv in child.labels]
+                if fam.kind == "counter":
+                    delta = child._delta()
+                    if delta:
+                        counters.append([fam.name, items, delta])
+                elif fam.kind == "gauge":
+                    gauges.append([fam.name, items, child.value])
+                else:
+                    delta = child._delta()
+                    if delta is not None:
+                        histograms.append([fam.name, items, delta])
+        if not (counters or gauges or histograms):
+            return None
+        return {
+            "schema": DELTA_SCHEMA_ID,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def merge(self, deltas: Mapping[str, Any]) -> None:
+        """Fold a :meth:`flush_deltas` document into this registry."""
+        if deltas.get("schema") != DELTA_SCHEMA_ID:
+            raise ValueError(
+                f"unsupported telemetry delta schema: {deltas.get('schema')!r}"
+            )
+        for name, items, delta in deltas.get("counters", ()):
+            labelnames = tuple(k for k, _ in items)
+            fam = self.counter(name, labelnames=labelnames)
+            child = fam.labels(**dict(items)) if items else fam._default
+            child.value += float(delta)
+            child._flushed += float(delta)
+        for name, items, value in deltas.get("gauges", ()):
+            labelnames = tuple(k for k, _ in items)
+            fam = self.gauge(name, labelnames=labelnames)
+            child = fam.labels(**dict(items)) if items else fam._default
+            child.set(float(value))
+        for name, items, delta in deltas.get("histograms", ()):
+            labelnames = tuple(k for k, _ in items)
+            fam = self.histogram(
+                name, labelnames=labelnames, buckets=tuple(delta["bounds"])
+            )
+            child = fam.labels(**dict(items)) if items else fam._default
+            child._merge(delta)
+            child._flushed_counts = list(child.counts)
+            child._flushed_sum = child.sum
+
+
+#: Process-wide default registry (the one ``GET /metrics`` renders).
+_DEFAULT_REGISTRY = TelemetryRegistry()
+
+
+def get_registry() -> TelemetryRegistry:
+    """The process-wide default registry."""
+    return _DEFAULT_REGISTRY
+
+
+def set_registry(registry: TelemetryRegistry) -> TelemetryRegistry:
+    """Swap the default registry (tests); returns the previous one."""
+    global _DEFAULT_REGISTRY
+    previous = _DEFAULT_REGISTRY
+    _DEFAULT_REGISTRY = registry
+    return previous

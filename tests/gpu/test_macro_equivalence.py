@@ -202,6 +202,47 @@ class TestHotPaths:
         assert out["stepped"][0].shutdowns >= 1
         assert_equivalent(out)
 
+    def test_equivalence_survives_live_telemetry(self):
+        """Bit-equality with a telemetry sink attached to both engines:
+        the macro engine emits only at commit boundaries, so observation
+        must not perturb a single aggregate — and both engines must
+        actually produce samples."""
+        from repro.telemetry.live import RunTelemetrySink, run_telemetry
+
+        out = {}
+        samples = {}
+        for engine in ("stepped", "macro"):
+            collected = []
+            sink = RunTelemetrySink(emit=collected.append, max_samples=32)
+            sim = build_sim(engine, cooling=LOW_END_ACTIVE)
+            with run_telemetry(sink):
+                result = sim.run(hot_launch(), make_policy("coolpim-hw"))
+            out[engine] = (result, sim.stats.snapshot(), sim)
+            samples[engine] = collected
+        assert_equivalent(out)
+        for engine, collected in samples.items():
+            assert collected, f"{engine} emitted no telemetry"
+            assert all(s["engine"] == engine for s in collected)
+            times = [s["t_s"] for s in collected]
+            assert times == sorted(times)
+            assert all(0.0 <= s["progress"] <= 1.0 for s in collected)
+
+    def test_results_identical_with_and_without_sink(self):
+        """The observer effect check: attaching a sink must not change
+        the stepped oracle's own results either."""
+        from repro.telemetry.live import RunTelemetrySink, run_telemetry
+
+        plain = build_sim("stepped", cooling=LOW_END_ACTIVE)
+        r_plain = plain.run(hot_launch(), make_policy("coolpim-sw"))
+        observed = build_sim("stepped", cooling=LOW_END_ACTIVE)
+        sink = RunTelemetrySink(emit=lambda s: None, max_samples=16)
+        with run_telemetry(sink):
+            r_obs = observed.run(hot_launch(), make_policy("coolpim-sw"))
+        for field in EXACT_FIELDS:
+            assert getattr(r_obs, field) == getattr(r_plain, field), field
+        assert r_obs.peak_dram_temp_c == r_plain.peak_dram_temp_c
+        assert r_obs.timeline == r_plain.timeline
+
     def test_warnings_fire_at_identical_instants(self):
         """Beyond equal counts: the traced warning instants must match
         step-for-step (the sensor only flips at its 100 µs samples)."""

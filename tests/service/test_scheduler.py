@@ -60,11 +60,22 @@ def _fail_until(spec):
     return {"succeeded_on_call": calls}
 
 
+def _tele(spec):
+    """Bump a telemetry counter in whatever process runs the job."""
+    from repro.telemetry import get_registry
+
+    get_registry().counter(
+        "t_tele_calls_total", help="test handler invocations"
+    ).inc()
+    return {"value": spec.params.get("v", 0)}
+
+
 for _kind, _fn in [
     ("t-ok", _ok),
     ("t-sleep", _sleep),
     ("t-crash", _crash),
     ("t-fail-until", _fail_until),
+    ("t-tele", _tele),
 ]:
     register_handler(_kind, _fn)
 
@@ -278,6 +289,62 @@ class TestPooledExecution:
         report = JobScheduler(max_workers=2, backoff_s=0.001).run([spec])
         assert report.ok
         assert report.result_for(spec).payload["succeeded_on_call"] == 2
+
+    def test_worker_telemetry_deltas_merge_into_parent(self, tmp_path):
+        """The worker→parent pipe: forked workers flush registry deltas
+        through the job result; the parent folds them in and journals
+        the flush, so /metrics covers the whole fleet."""
+        from repro.telemetry.registry import TelemetryRegistry, set_registry
+
+        previous = set_registry(TelemetryRegistry())
+        journal_path = tmp_path / "journal.jsonl"
+        try:
+            specs = [
+                JobSpec(kind="t-tele", name=f"tele{i}", params={"v": i})
+                for i in range(3)
+            ]
+            with JobJournal(journal_path) as journal:
+                report = JobScheduler(max_workers=2, journal=journal).run(specs)
+            assert report.ok
+            from repro.telemetry import get_registry
+
+            reg = get_registry()
+            fam = reg.counter("t_tele_calls_total")
+            assert fam.value == 3.0  # one inc per worker invocation
+            # Parent-side job accounting rides the same registry.
+            jobs = reg.counter(
+                "repro_jobs_total", labelnames=("kind", "status")
+            )
+            assert jobs.labels(kind="t-tele", status="completed").value == 3.0
+        finally:
+            set_registry(previous)
+        events = [
+            line for line in journal_path.read_text().splitlines()
+            if '"telemetry_flush"' in line
+        ]
+        assert len(events) == 3
+
+    def test_serial_jobs_skip_delta_flush_but_count(self, tmp_path):
+        """Serial jobs run in-process against the parent registry — no
+        delta document must ride the result (it would double-count), but
+        the job counters still tick."""
+        from repro.telemetry.registry import TelemetryRegistry, set_registry
+
+        previous = set_registry(TelemetryRegistry())
+        try:
+            spec = JobSpec(kind="t-tele", name="tele", params={})
+            report = JobScheduler(serial=True).run([spec])
+            assert report.ok
+            from repro.telemetry import get_registry
+
+            reg = get_registry()
+            assert reg.counter("t_tele_calls_total").value == 1.0
+            jobs = reg.counter(
+                "repro_jobs_total", labelnames=("kind", "status")
+            )
+            assert jobs.labels(kind="t-tele", status="completed").value == 1.0
+        finally:
+            set_registry(previous)
 
 
 @needs_fork

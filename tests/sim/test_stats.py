@@ -161,10 +161,17 @@ class TestHistogram:
         h.add(50.0)
         assert h.percentile(99) == 10.0
 
+    def test_percentile_empty_returns_none(self):
+        h = Histogram("h", 0.0, 1.0, 2)
+        assert h.percentile(50) is None
+        assert h.percentile(0) is None
+        h.add(0.5)
+        assert h.percentile(50) is not None
+        h.reset()
+        assert h.percentile(99) is None
+
     def test_percentile_errors(self):
         h = Histogram("h", 0.0, 1.0, 2)
-        with pytest.raises(ValueError, match="empty"):
-            h.percentile(50)
         h.add(0.5)
         with pytest.raises(ValueError, match="out of"):
             h.percentile(-1)

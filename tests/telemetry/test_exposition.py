@@ -1,0 +1,112 @@
+"""Prometheus text exposition: rendering and the matching validator."""
+
+import pytest
+
+from repro.telemetry.exposition import (
+    CONTENT_TYPE,
+    ExpositionError,
+    parse_exposition,
+    render_exposition,
+)
+from repro.telemetry.registry import TelemetryRegistry
+
+
+@pytest.fixture
+def reg():
+    return TelemetryRegistry()
+
+
+class TestRender:
+    def test_empty_registry_renders_empty(self, reg):
+        assert render_exposition(reg) == ""
+
+    def test_counter_with_help_and_type(self, reg):
+        reg.counter("jobs_total", help="Jobs processed.").inc(3)
+        text = render_exposition(reg)
+        assert "# HELP jobs_total Jobs processed." in text
+        assert "# TYPE jobs_total counter" in text
+        assert "jobs_total 3\n" in text
+
+    def test_labels_rendered_and_escaped(self, reg):
+        fam = reg.counter("c", labelnames=("tenant",))
+        fam.labels(tenant='we"ird\\name').inc()
+        text = render_exposition(reg)
+        assert 'tenant="we\\"ird\\\\name"' in text
+        parsed = parse_exposition(text)
+        (name, labels, value) = parsed["samples"][0]
+        assert labels["tenant"] == 'we"ird\\name'
+
+    def test_histogram_expansion(self, reg):
+        h = reg.histogram("lat", help="latency", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        text = render_exposition(reg)
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="1"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_count 3" in text
+        assert "lat_sum" in text
+
+    def test_content_type_pins_version(self):
+        assert "version=0.0.4" in CONTENT_TYPE
+
+
+class TestParse:
+    def test_roundtrip(self, reg):
+        reg.counter("c", labelnames=("k",)).labels(k="v").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        parsed = parse_exposition(render_exposition(reg))
+        assert parsed["types"] == {
+            "c": "counter", "g": "gauge", "h": "histogram"
+        }
+        by_name = {}
+        for name, labels, value in parsed["samples"]:
+            by_name.setdefault(name, []).append((labels, value))
+        assert by_name["c"] == [({"k": "v"}, 2.0)]
+        assert by_name["g"] == [({}, 1.5)]
+        assert by_name["h_count"] == [({}, 1.0)]
+
+    def test_sample_without_type_rejected(self):
+        with pytest.raises(ExpositionError, match="no TYPE"):
+            parse_exposition("orphan_metric 1\n")
+
+    def test_duplicate_type_rejected(self):
+        text = "# TYPE a counter\n# TYPE a counter\na 1\n"
+        with pytest.raises(ExpositionError, match="duplicate TYPE"):
+            parse_exposition(text)
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ExpositionError, match="value"):
+            parse_exposition("# TYPE a counter\na one\n")
+
+    def test_malformed_labels_rejected(self):
+        with pytest.raises(ExpositionError):
+            parse_exposition('# TYPE a counter\na{k=unquoted} 1\n')
+
+    def test_histogram_missing_inf_bucket_rejected(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 1\n'
+            "h_count 1\n"
+        )
+        with pytest.raises(ExpositionError, match=r"\+Inf"):
+            parse_exposition(text)
+
+    def test_histogram_decreasing_buckets_rejected(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            'h_bucket{le="+Inf"} 3\n'
+        )
+        with pytest.raises(ExpositionError, match="decrease"):
+            parse_exposition(text)
+
+    def test_histogram_count_mismatch_rejected(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 3\n'
+            "h_count 5\n"
+        )
+        with pytest.raises(ExpositionError, match="_count"):
+            parse_exposition(text)

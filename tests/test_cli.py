@@ -222,6 +222,72 @@ class TestTraceDispatch:
         bad.write_text('{"what": "ever"}')
         assert main(["report", str(bad)]) == 1
 
+    def test_report_diff_exit_codes(self, tmp_path, capsys):
+        """--diff is scriptable like diff(1): 0 equal, 1 changed, 2 error."""
+        import json
+
+        from repro.obs.metrics import export_metrics
+
+        a = tmp_path / "a.metrics.json"
+        b = tmp_path / "b.metrics.json"
+        export_metrics({"sim.x": {"type": "counter", "value": 1}}, path=a)
+        export_metrics({"sim.x": {"type": "counter", "value": 2}}, path=b)
+        assert main(["report", str(a), "--diff", str(a)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(a), "--diff", str(b)]) == 1
+        assert "~ sim.x.value" in capsys.readouterr().out
+        # Missing / invalid second file → 2, message on stderr.
+        assert main(["report", str(a), "--diff",
+                     str(tmp_path / "missing.json")]) == 2
+        broken = tmp_path / "broken.json"
+        broken.write_text("{not json")
+        assert main(["report", str(broken), "--diff", str(a)]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestBenchTrendDispatch:
+    def _write(self, tmp_path, speed):
+        import json
+
+        (tmp_path / "BENCH_x.json").write_text(json.dumps({"speed": speed}))
+        baselines = tmp_path / "baselines.json"
+        baselines.write_text(json.dumps({
+            "schema": "repro.bench-baselines/1",
+            "benchmarks": {
+                "bench": {
+                    "source": "BENCH_x.json",
+                    "metrics": {
+                        "speed": {"baseline": 2.0, "min_ratio": 0.5}
+                    },
+                }
+            },
+        }))
+        return str(baselines)
+
+    def test_pass_and_report_file(self, tmp_path, capsys):
+        baselines = self._write(tmp_path, 2.0)
+        report = tmp_path / "trend.txt"
+        rc = main(["bench-trend", "--dir", str(tmp_path),
+                   "--baselines", baselines, "--check",
+                   "--report", str(report)])
+        assert rc == 0
+        assert "all within tolerance" in capsys.readouterr().out
+        assert "all within tolerance" in report.read_text()
+
+    def test_regression_gates_with_check(self, tmp_path, capsys):
+        baselines = self._write(tmp_path, 0.1)
+        assert main(["bench-trend", "--dir", str(tmp_path),
+                     "--baselines", baselines, "--check"]) == 1
+        assert "regression" in capsys.readouterr().out
+        # Informational mode: report prints but does not gate.
+        assert main(["bench-trend", "--dir", str(tmp_path),
+                     "--baselines", baselines]) == 0
+
+    def test_structural_error_exits_two(self, tmp_path, capsys):
+        assert main(["bench-trend", "--dir", str(tmp_path),
+                     "--baselines", str(tmp_path / "nope.json")]) == 2
+        assert "error" in capsys.readouterr().err
+
 
 class TestRunnerArtifacts:
     def test_out_dir_written(self, tmp_path, capsys):
