@@ -54,6 +54,7 @@ class CoolPimSystem:
         self.gpu = gpu
         self.hmc = hmc
         self.cooling = cooling
+        self.ambient_c = ambient_c
         self.thermal = HmcThermalModel(hmc, cooling=cooling, ambient_c=ambient_c)
         self.control_dt_s = control_dt_s
         #: Simulation engine: ``"macro"`` (vectorized burst fast path) or
@@ -123,6 +124,49 @@ class CoolPimSystem:
         self.last_stats = sim.stats
         return result
 
+    def run_gang(
+        self,
+        workload: GraphWorkload,
+        graph: CSRGraph,
+        members: Iterable,
+        stats: Optional[list] = None,
+    ) -> list:
+        """Run one workload under several configurations in lockstep.
+
+        ``members`` entries are policies (names or instances) or
+        ``(policy, cooling)`` pairs; see :func:`repro.gpu.gang.run_gang`.
+        Results come back in member order, bit-equal to what per-run
+        :meth:`run` calls would produce. ``last_stats`` holds the final
+        member's registry, matching the sequential path; pass a list as
+        ``stats`` to collect every member's registry in member order.
+        """
+        from repro.gpu.gang import run_gang
+
+        members = list(members)
+        tracer = get_tracer()
+        t0 = _time.perf_counter()
+        if stats is None:
+            stats = []
+        results = run_gang(
+            workload,
+            graph,
+            members,
+            gpu=self.gpu,
+            hmc=self.hmc,
+            cooling=self.cooling,
+            ambient_c=self.ambient_c,
+            control_dt_s=self.control_dt_s,
+            phase_policy=self.phase_policy,
+            launch=self._launch_for(workload, graph),
+            stats=stats,
+        )
+        self.last_stats = stats[-1] if stats else None
+        tracer.complete(
+            "core.run_gang", t0, _time.perf_counter(), cat="core",
+            workload=workload.name, lanes=len(members),
+        )
+        return results
+
     def run_all_policies(
         self,
         workload: GraphWorkload,
@@ -133,9 +177,13 @@ class CoolPimSystem:
         """Run the standard evaluation matrix for one workload.
 
         Returns ``{policy_name: result}`` in evaluation order; the epoch
-        trace is generated once and replayed for every policy.
+        trace is generated once and replayed for every policy. Under
+        ``engine="gang"`` the policies run as one lockstep gang (see
+        :mod:`repro.gpu.gang`) — same results, one shared thermal march.
         """
         names = list(policies) if policies is not None else list(POLICY_NAMES)
+        if self.engine == "gang" and scenario is None and len(names) > 1:
+            return dict(zip(names, self.run_gang(workload, graph, names)))
         return {
             name: self.run(workload, graph, name, scenario=scenario)
             for name in names

@@ -1,0 +1,358 @@
+"""Gang engine: march an entire sweep's control loops in lockstep.
+
+A sweep over one workload — the Fig. 10/13 grids, a ``POST /sweeps``
+cross-product, a cooling study — is N near-identical control loops
+replaying the *same* epoch trace under different policies, coolings, or
+offload fractions. Run per-run, each loop pays its own speculation,
+thermal march, and peak readout. The gang engine runs K such
+configurations ("lanes") in lockstep rounds:
+
+1. **Round** — every active lane advances by one burst attempt (or one
+   scalar step), exactly the :class:`~repro.gpu.macro.MacroEngine` loop
+   body. Lanes are full ``MacroEngine`` instances; begin, speculate,
+   validate, and commit are the inherited per-run code, so each lane's
+   arithmetic is *bit-identical* to a solo macro run (itself bit-equal
+   to the stepped reference).
+2. **Batched march** — the prepared bursts of all lanes sharing a
+   reduced-propagator basis (same package + cooling) are marched
+   together: :meth:`~repro.thermal.propagator.ReducedPropagator.march_many`
+   stacks the per-lane reduced states into one ``(lanes, rank)``
+   recurrence, one fused update per quantum instead of K separate
+   marches. Peak readouts stay per-lane (each lane owns a
+   :class:`~repro.thermal.propagator.PeakReader` whose certified state
+   is part of the per-run determinism contract).
+3. **Divergence** — a lane whose round cannot burst (sensor hysteresis
+   flip pending, phase crossing, warning the policy may act on, scenario
+   event window, shutdown recovery) simply takes the scalar path for
+   that round: it is masked out of the batched march and rejoins the
+   gang next round. A lane whose reduced basis goes unhealthy
+   (``_prop_bad``) can never burst again and is *permanently* detached:
+   it finishes immediately on the per-run macro path, preserving its
+   solo-run float sequence.
+
+Shared state between lanes is restricted to provably bit-safe reuse:
+the process-cached thermal operators/propagator (immutable), a
+cache-filter memo (the filter is a pure function of the batch, shared
+only between lanes with identical cache parameters), and the epoch
+trace's batch objects (lanes hold independent cursors). Everything
+mutable — flow model, sensor, thermal transient state, policy, stats —
+is per-lane.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import replace as _dc_replace
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.gpu.config import GPU_DEFAULT, GpuConfig
+from repro.gpu.kernel import KernelLaunch
+from repro.gpu.macro import MacroEngine
+from repro.hmc.config import HMC_2_0, HmcConfig
+from repro.sim.trace import TraceCursor
+from repro.thermal.cooling import COMMODITY_SERVER, CoolingSolution
+
+if TYPE_CHECKING:
+    from repro.core.policies import OffloadPolicy
+    from repro.gpu.simulator import SimulationResult, SystemSimulator
+    from repro.graph.csr import CSRGraph
+    from repro.workloads.base import GraphWorkload
+
+
+class GangLane(MacroEngine):
+    """One gang member: a macro engine plus its launch/policy binding.
+
+    Everything that decides a float is inherited from
+    :class:`MacroEngine`; the subclass only carries gang bookkeeping.
+    """
+
+    engine_label = "gang"
+
+    def __init__(
+        self, sim: "SystemSimulator", launch: KernelLaunch,
+        policy: "OffloadPolicy",
+    ) -> None:
+        super().__init__(sim)
+        self.launch = launch
+        self.gang_policy = policy
+        self.result: Optional["SimulationResult"] = None
+        #: True once the lane permanently left the gang (unhealthy
+        #: reduced basis) and completed on the per-run macro path.
+        self.detached = False
+        self._wall0 = 0.0
+
+
+class GangEngine:
+    """Lockstep driver over a list of :class:`GangLane`.
+
+    Results come back in lane order; each equals what the lane's
+    configuration would produce through a solo macro run, bit for bit.
+    """
+
+    def __init__(self, lanes: Sequence[GangLane]) -> None:
+        if not lanes:
+            raise ValueError("a gang needs at least one lane")
+        self.lanes = list(lanes)
+        self.rounds = 0
+        self.batched_marches = 0
+        #: Sum over rounds of (active lanes / gang size); divided by
+        #: ``rounds`` this is the mean lane occupancy the telemetry
+        #: series reports.
+        self._occupancy_acc = 0.0
+
+    # -- driver ------------------------------------------------------------
+
+    def run(self) -> List["SimulationResult"]:
+        lanes = self.lanes
+        n = len(lanes)
+        for lane in lanes:
+            lane._wall0 = _time.perf_counter()
+            lane._run_begin(lane.launch, lane.gang_policy)
+        active = list(lanes)
+        while active:
+            self.rounds += 1
+            self._occupancy_acc += len(active) / n
+            ready: List[Tuple[GangLane, tuple]] = []
+            nxt: List[GangLane] = []
+            for lane in active:
+                if not lane._round_open():
+                    self._finish(lane)
+                    continue
+                if lane.skip > 0:
+                    lane.skip -= 1
+                    lane._scalar_step()
+                    lane._sink_sample()
+                    nxt.append(lane)
+                    continue
+                pending = lane._burst_prepare()
+                if pending is None:
+                    if lane._prop_bad:
+                        # Reduced basis unhealthy: no burst will ever
+                        # succeed again. Detach and finish solo — the
+                        # remaining rounds are scalar anyway and batching
+                        # has nothing left to offer this lane.
+                        self._finish_detached(lane)
+                        continue
+                    lane._scalar_step()
+                    lane._sink_sample()
+                    nxt.append(lane)
+                    continue
+                ready.append((lane, pending))
+                nxt.append(lane)
+            for lane, pending, Z, peaks in self._march_batched(ready):
+                if lane._burst_finish(pending, Z, peaks) == 0:
+                    lane._scalar_step()
+                lane._sink_sample()
+            active = [ln for ln in nxt if ln.result is None]
+        self._record_gang_telemetry()
+        return [lane.result for lane in lanes]
+
+    def _march_batched(self, ready):
+        """March all prepared bursts, fusing lanes that share a basis.
+
+        Lanes are grouped by propagator identity (the process-level
+        operator cache hands every same-package/cooling lane the same
+        instance); each group runs one ``march_many``. Peak readout is
+        per-lane through the lane's own certified reader.
+        """
+        singles: List[Tuple[GangLane, tuple]] = []
+        groups: Dict[tuple, List[Tuple[GangLane, tuple]]] = {}
+        out = []
+        for lane, pending in ready:
+            coeffs = pending[4]
+            if coeffs is None:
+                # Thermally exempt lane (ideal bound): nothing to march.
+                out.append((lane, pending, None, np.empty(0)))
+            else:
+                # Bucket by burst-length magnitude as well as basis: the
+                # fused recurrence is paid to the longest lane, so fusing
+                # a 5-quantum burst with a 500-quantum one would cost far
+                # more than marching them apart. Same-bucket lanes are
+                # within 2× of each other.
+                key = (id(lane._prop), (coeffs.shape[1] - 1).bit_length())
+                groups.setdefault(key, []).append((lane, pending))
+        for members in groups.values():
+            if len(members) == 1:
+                singles.extend(members)
+                continue
+            prop = members[0][0]._prop
+            Zs = prop.march_many(
+                [p[2] for _, p in members],
+                [p[4] for _, p in members],
+            )
+            self.batched_marches += 1
+            for (lane, pending), Z in zip(members, Zs):
+                out.append((lane, pending, Z, lane._reader.peaks(Z)))
+        for lane, pending in singles:
+            Z, peaks = lane._march(pending)
+            out.append((lane, pending, Z, peaks))
+        return out
+
+    def _finish(self, lane: GangLane) -> None:
+        lane.result = lane._run_finish()
+        lane.sim._record_run_telemetry(
+            lane.result, _time.perf_counter() - lane._wall0
+        )
+
+    def _finish_detached(self, lane: GangLane) -> None:
+        """Complete a permanently-diverged lane on the solo macro path."""
+        lane.detached = True
+        while lane._round_open():
+            if lane.skip > 0:
+                lane.skip -= 1
+                lane._scalar_step()
+            elif lane._try_burst() == 0:
+                lane._scalar_step()
+            lane._sink_sample()
+        self._finish(lane)
+
+    def _record_gang_telemetry(self) -> None:
+        """Fold one gang run into the ``repro_gang_*`` telemetry series."""
+        from repro.telemetry import get_registry
+
+        reg = get_registry()
+        n = len(self.lanes)
+        reg.counter(
+            "repro_gang_runs_total", "Completed gang-engine sweeps"
+        ).inc()
+        reg.counter(
+            "repro_gang_lanes_total", "Lanes run across all gang sweeps"
+        ).inc(n)
+        reg.counter(
+            "repro_gang_rounds_total", "Lockstep rounds across all gangs"
+        ).inc(self.rounds)
+        reg.counter(
+            "repro_gang_batched_marches_total",
+            "Cross-lane fused thermal marches",
+        ).inc(self.batched_marches)
+        reg.counter(
+            "repro_gang_detached_lanes_total",
+            "Lanes that diverged permanently and finished solo",
+        ).inc(sum(1 for ln in self.lanes if ln.detached))
+        reg.histogram(
+            "repro_gang_lane_occupancy",
+            "Mean fraction of lanes active per lockstep round",
+        ).observe(self._occupancy_acc / max(1, self.rounds))
+
+
+# -- construction ----------------------------------------------------------
+
+
+def _fork_launch(launch: KernelLaunch) -> KernelLaunch:
+    """Per-lane launch with an independent cursor over the shared trace.
+
+    The ``OpBatch`` objects themselves are shared (they are immutable),
+    which is what keeps the lanes' cache-filter memo keyable by batch
+    identity.
+    """
+    return _dc_replace(launch, trace=TraceCursor(iter(launch.trace)))
+
+
+def build_lane(
+    launch: KernelLaunch,
+    policy: Union[str, "OffloadPolicy"],
+    *,
+    gpu: GpuConfig = GPU_DEFAULT,
+    hmc: HmcConfig = HMC_2_0,
+    cooling: CoolingSolution = COMMODITY_SERVER,
+    ambient_c: float = 25.0,
+    control_dt_s: float = 25e-6,
+    phase_policy=None,
+    cache=None,
+    scenario=None,
+) -> GangLane:
+    """Assemble one lane: private simulator state over shared operators.
+
+    The thermal model instance is per-lane (its transient state evolves
+    with the lane) but the expensive operators behind it come from the
+    process-level cache, so same-cooling lanes share one assembly,
+    factorization, and reduced basis — which is also what lets the gang
+    driver fuse their marches.
+    """
+    from repro.core.policies import OffloadPolicy, make_policy
+    from repro.gpu.simulator import SystemSimulator
+    from repro.hmc.flow import HmcFlowModel
+    from repro.thermal.model import HmcThermalModel
+    from repro.thermal.sensor import ThermalSensor
+
+    if isinstance(policy, str):
+        policy = make_policy(policy)
+    elif not isinstance(policy, OffloadPolicy):
+        from repro.agents import as_policy
+
+        policy = as_policy(policy)
+    sim = SystemSimulator(
+        gpu=gpu,
+        hmc_config=hmc,
+        cache=cache,
+        flow=HmcFlowModel(hmc, phase_policy=phase_policy),
+        thermal=HmcThermalModel(hmc, cooling=cooling, ambient_c=ambient_c),
+        sensor=ThermalSensor(),
+        control_dt_s=control_dt_s,
+        engine="gang",
+        scenario=scenario,
+    )
+    return GangLane(sim, _fork_launch(launch), policy)
+
+
+def run_gang(
+    workload: "GraphWorkload",
+    graph: "CSRGraph",
+    members: Sequence[Union[str, "OffloadPolicy", tuple]],
+    *,
+    gpu: GpuConfig = GPU_DEFAULT,
+    hmc: HmcConfig = HMC_2_0,
+    cooling: CoolingSolution = COMMODITY_SERVER,
+    ambient_c: float = 25.0,
+    control_dt_s: float = 25e-6,
+    phase_policy=None,
+    launch: Optional[KernelLaunch] = None,
+    stats: Optional[list] = None,
+) -> List["SimulationResult"]:
+    """Run one workload under K configurations as a gang.
+
+    ``members`` entries are either a policy (name or instance) or a
+    ``(policy, cooling)`` pair overriding the gang-default cooling —
+    the eligible sweep shape: one workload/dataset/scale, varying
+    policy, cooling, or static offload fraction. Results come back in
+    member order, bit-equal to per-run macro execution. When ``stats``
+    is a list, each lane's ``sim.*`` :class:`~repro.sim.stats.StatRegistry`
+    is appended to it in member order.
+    """
+    if launch is None:
+        launch = workload.launch(graph, gpu)
+    lanes = []
+    for member in members:
+        if isinstance(member, tuple):
+            policy, member_cooling = member
+        else:
+            policy, member_cooling = member, cooling
+        lanes.append(build_lane(
+            launch, policy,
+            gpu=gpu, hmc=hmc,
+            cooling=member_cooling or cooling,
+            ambient_c=ambient_c, control_dt_s=control_dt_s,
+            phase_policy=phase_policy,
+            cache=workload.cache_model(gpu),
+        ))
+    # One cache-filter memo across lanes with identical cache models —
+    # the filter is pure, so sharing only deduplicates work.
+    memo: dict = {}
+    sig0 = _cache_sig(lanes[0].sim.cache)
+    if all(_cache_sig(ln.sim.cache) == sig0 for ln in lanes):
+        for ln in lanes:
+            ln._filter_memo = memo
+    results = GangEngine(lanes).run()
+    if stats is not None:
+        stats.extend(ln.sim.stats for ln in lanes)
+    return results
+
+
+def _cache_sig(cache) -> tuple:
+    return (
+        cache.read_hit_rate, cache.write_hit_rate,
+        cache.host_atomic_coalescing, cache.coherence_mode,
+        cache.pei_dirty_fraction,
+    )

@@ -92,6 +92,9 @@ class MacroEngine:
     mutable state as attributes so the burst/scalar paths share it.
     """
 
+    #: Engine name stamped on traces and live-telemetry samples.
+    engine_label = "macro"
+
     def __init__(self, sim: "SystemSimulator") -> None:
         self.sim = sim
         # Interval-model constants hoisted for the speculation loop. Each
@@ -122,6 +125,11 @@ class MacroEngine:
         self.fail_streak = 0
         self._prop = None
         self._prop_bad = False
+        #: Per-run certified peak readout (created with the propagator).
+        #: Per-run on purpose: its mode/candidate state depends on the
+        #: burst history, which is the determinism contract that lets a
+        #: gang lane reproduce a solo run's floats call for call.
+        self._reader = None
         # Reduced-state cache: eigen-coordinates of the thermal state and
         # its peak DRAM temperature, valid while no exact solver step has
         # touched the model since the last burst commit. While valid,
@@ -129,6 +137,21 @@ class MacroEngine:
         # reconstruction; the node state is materialized lazily.
         self._z = None
         self._z_peak = 0.0
+        #: Optional shared ``{id(batch): MemoryTraffic}`` memo. The cache
+        #: filter is a pure function of the batch and the (immutable)
+        #: cache-model parameters, so gang lanes replaying the same trace
+        #: under identical cache configs share one memo — same values,
+        #: computed once.
+        self._filter_memo = None
+
+    def _filter(self, batch: OpBatch):
+        memo = self._filter_memo
+        if memo is None:
+            return self.sim.cache.filter(batch)
+        traffic = memo.get(id(batch))
+        if traffic is None:
+            traffic = memo[id(batch)] = self.sim.cache.filter(batch)
+        return traffic
 
     # -- epoch bookkeeping -------------------------------------------------
 
@@ -137,7 +160,7 @@ class MacroEngine:
         self.batch = batch
         self.atomics_total += batch.atomics
         if traffic is None:
-            traffic = sim.cache.filter(batch)
+            traffic = self._filter(batch)
         from repro.gpu.simulator import _EpochState
 
         self.state = _EpochState(batch, traffic)
@@ -205,10 +228,25 @@ class MacroEngine:
         return t1, t2
 
     # -- main entry --------------------------------------------------------
+    #
+    # The run is split into begin / round / finish so the gang engine can
+    # drive many engines in lockstep: each round advances one engine by
+    # one burst attempt (or one scalar step). ``run`` itself is just the
+    # solo driver — one engine, rounds back to back — so the solo and
+    # gang paths execute the identical per-run code.
 
     def run(self, launch: KernelLaunch, policy: "OffloadPolicy"):
-        from repro.gpu.simulator import SimulationResult
+        self._run_begin(launch, policy)
+        while self._round_open():
+            if self.skip > 0:
+                self.skip -= 1
+                self._scalar_step()
+            elif self._try_burst() == 0:
+                self._scalar_step()
+            self._sink_sample()
+        return self._run_finish()
 
+    def _run_begin(self, launch: KernelLaunch, policy: "OffloadPolicy") -> None:
         sim = self.sim
         launch.trace.rewind()
         sim.sensor.reset()
@@ -283,51 +321,71 @@ class MacroEngine:
         self.state = None
         trace = launch.trace
         self.launch_trace = trace
-        # Live telemetry: sampled only here, between committed steps or
+        # Live telemetry: sampled only between committed steps or
         # bursts — the speculative march never emits, so attaching a
         # sink cannot perturb the bit-equality contract.
         from repro.telemetry.live import get_run_sink
 
-        sink = get_run_sink()
-        total_epochs = max(1, len(trace))
-        while True:
-            if self.state is None:
-                batch = trace.next()
-                if batch is None:
-                    break
-                if scen is not None:
-                    batch = scen.transform_batch(batch)
-                self._open_epoch(batch, self.now_s)
-                if not self._epoch_pending():
-                    self._close_epoch(self.now_s)
-                    continue
-            if scen is not None:
-                # Stepped applies due events at the top of every control
-                # step — i.e. after the epoch open at the same instant.
-                scen.apply_due(self.now_s)
-            if self.skip > 0:
-                self.skip -= 1
-                self._scalar_step()
-            elif self._try_burst() == 0:
-                self._scalar_step()
-            if sink is not None and self.now_s >= sink.next_due_s:
-                pool = getattr(policy, "pool", None)
-                sink.emit_sample({
-                    "t_s": self.now_s,
-                    "progress": trace.position / total_epochs,
-                    "dram_c": self.last_temp_c,
-                    "pim_fraction": self.frac_tw.value,
-                    "tokens": pool.size if pool is not None else None,
-                    "warnings": self.warnings,
-                    "shutdowns": self.shutdowns,
-                    "avg_link_gbs": (
-                        self.link_bytes / self.now_s / 1e9
-                        if self.now_s > 0 else 0.0
-                    ),
-                    "phase": sim.flow.phase.name,
-                    "engine": "macro",
-                })
+        self._sink = get_run_sink()
+        self._total_epochs = max(1, len(trace))
+        self._launch = launch
+        self._wall_t0 = wall_t0
+        self._stats_scope = stats
+        self._fan_power_w = fan_power_w
 
+    def _round_open(self) -> bool:
+        """Advance the trace to a runnable epoch; False when the run is done.
+
+        One call per round: opens (and skips empty) epochs, then applies
+        any scenario events due at the current instant — exactly the top
+        of the reference loop's iteration.
+        """
+        scen = self.scen
+        trace = self.launch_trace
+        while self.state is None:
+            batch = trace.next()
+            if batch is None:
+                return False
+            if scen is not None:
+                batch = scen.transform_batch(batch)
+            self._open_epoch(batch, self.now_s)
+            if not self._epoch_pending():
+                self._close_epoch(self.now_s)
+        if scen is not None:
+            # Stepped applies due events at the top of every control
+            # step — i.e. after the epoch open at the same instant.
+            scen.apply_due(self.now_s)
+        return True
+
+    def _sink_sample(self) -> None:
+        sink = self._sink
+        if sink is not None and self.now_s >= sink.next_due_s:
+            policy = self.policy
+            pool = getattr(policy, "pool", None)
+            sink.emit_sample({
+                "t_s": self.now_s,
+                "progress": self.launch_trace.position / self._total_epochs,
+                "dram_c": self.last_temp_c,
+                "pim_fraction": self.frac_tw.value,
+                "tokens": pool.size if pool is not None else None,
+                "warnings": self.warnings,
+                "shutdowns": self.shutdowns,
+                "avg_link_gbs": (
+                    self.link_bytes / self.now_s / 1e9
+                    if self.now_s > 0 else 0.0
+                ),
+                "phase": self.sim.flow.phase.name,
+                "engine": self.engine_label,
+            })
+
+    def _run_finish(self):
+        from repro.gpu.simulator import SimulationResult
+
+        sim = self.sim
+        scen = self.scen
+        launch = self._launch
+        policy = self.policy
+        stats = self._stats_scope
         self._materialize()
         if scen is not None:
             # Restore the shared thermal/flow/sensor models to nominal:
@@ -345,11 +403,11 @@ class MacroEngine:
         stats.counter("host_atomics_assigned").add(self.host_assigned_total)
         if self.traced:
             self.tracer.complete(
-                "sim.run", wall_t0, _time.perf_counter(), cat="sim",
+                "sim.run", self._wall_t0, _time.perf_counter(), cat="sim",
                 workload=launch.name, policy=policy.name,
                 epochs=self.epochs, control_steps=self.control_steps,
                 warnings=self.warnings, shutdowns=self.shutdowns,
-                sim_runtime_s=self.now_s, engine="macro",
+                sim_runtime_s=self.now_s, engine=self.engine_label,
             )
 
         return SimulationResult(
@@ -366,7 +424,7 @@ class MacroEngine:
             shutdowns=self.shutdowns,
             phase_time_s=self.phase_time,
             package_energy_j=self.package_energy_j,
-            fan_energy_j=fan_power_w * self.now_s,
+            fan_energy_j=self._fan_power_w * self.now_s,
             timeline=self.timeline,
         )
 
@@ -521,40 +579,51 @@ class MacroEngine:
             self._close_epoch(self.now_s)
 
     # -- burst path --------------------------------------------------------
+    #
+    # One burst = begin → speculate → march → validate → commit. Each
+    # stage is a method so the gang engine can reuse the pipeline: lanes
+    # inherit begin/validate/commit verbatim (bit-identical semantics),
+    # override ``_speculate`` with a vectorized equivalent, and let the
+    # gang driver batch the march across lanes. ``_Burst`` carries one
+    # burst's inputs and outputs between the stages.
 
-    def _try_burst(self) -> int:
-        """Speculate/validate/commit one burst; returns committed quanta."""
+    def _spec_begin(self) -> "Optional[_Burst]":
+        """Resolve burst preconditions and hoist the burst-scoped inputs.
+
+        Returns ``None`` when no burst may start here: unhealthy reduced
+        basis, shutdown recovery, a perturbed sensor window (scalar
+        oracle path), or a warning the policy may act on this very step.
+        """
         sim = self.sim
         exempt = self.exempt
         policy = self.policy
         flow = sim.flow
         if not exempt:
             if self._prop_bad:
-                return 0
+                return None
             if self._prop is None:
                 self._prop = sim.thermal.propagator(sim.control_dt_s)
-            prop = self._prop
-            if not prop.healthy:
+                self._reader = self._prop.peak_reader()
+            if not self._prop.healthy:
                 self._prop_bad = True
-                return 0
-        else:
-            prop = None
+                return None
         if flow.is_shutdown:
-            return 0
+            return None
         scen = self.scen
         if scen is not None and scen.sensor_perturbed():
             # Sensor-fault windows (noise/dropout) run on the scalar
             # oracle path: each sample must pass through the real,
             # perturbed sensor at its exact instant so both engines draw
             # the same noise variates in the same order.
-            return 0
+            return None
 
-        wall_b0 = _time.perf_counter() if self.traced else 0.0
-        t0 = self.now_s
+        b = _Burst()
+        b.wall_b0 = _time.perf_counter() if self.traced else 0.0
+        b.t0 = t0 = self.now_s
         # The burst's first quantum makes the real policy call (it may
         # apply a pending change); subsequent quanta reuse the value under
         # the fraction_horizon purity contract.
-        fraction = policy.pim_fraction(t0)
+        b.fraction = policy.pim_fraction(t0)
         end_t = policy.fraction_horizon(t0)
         if scen is not None:
             # Extended horizon contract: an injection instant is a hard
@@ -562,12 +631,12 @@ class MacroEngine:
             nxt = scen.next_event_s()
             if nxt < end_t:
                 end_t = nxt
-        warning = sim.sensor.warning
-        samples_safe = True
+        b.warning = warning = sim.sensor.warning
+        b.samples_safe = True
         if warning:
             wn_cur = policy.warning_noop_until(t0, sim.sensor.last_temp_c)
             if wn_cur <= t0:
-                return 0  # the policy may act this very step
+                return None  # the policy may act this very step
             if wn_cur < end_t:
                 end_t = wn_cur
             # A sensor sample inside the burst replaces the temperature the
@@ -576,24 +645,50 @@ class MacroEngine:
             # Otherwise the burst may still *end on* a sample step: the
             # commit delivers that one callback for real, with the marched
             # temperature, reproducing the scalar loop's policy state.
-            samples_safe = policy.warning_noop_until(t0, None) >= end_t
-
-        phase0 = flow.phase
-        link_gbs = flow.effective_link_gbs()
-        dram_gbs = flow.dram_capacity_gbs()
-        fu_cap = flow.fu_capacity_ops_per_ns()
-        es = 1.0 if exempt else flow.policy.dram_energy_scale(phase0)
-        ambient = sim.thermal.ambient_c
+            b.samples_safe = policy.warning_noop_until(t0, None) >= end_t
+        b.end_t = end_t
+        b.phase0 = flow.phase
+        b.link_gbs = flow.effective_link_gbs()
+        b.dram_gbs = flow.dram_capacity_gbs()
+        b.fu_cap = flow.fu_capacity_ops_per_ns()
+        b.es = 1.0 if exempt else flow.policy.dram_energy_scale(b.phase0)
         # Boundary forcing for the marched thermal states: scenario
         # ambient/cooling offsets enter here (and only here) — identical
         # to the exact solver's `B * ambient_c` term, and equal to
-        # `ambient` when no offset is active.
-        amb_forcing = sim.thermal.effective_ambient_c
+        # the ambient when no offset is active.
+        b.amb_forcing = sim.thermal.effective_ambient_c
+        b.cap = self.spec_cap
+        b.pos0 = self.launch_trace.position
+        b.pt0 = self.phase_time[b.phase0.name]
+        b.steps = []
+        b.entries = []
+        b.cum_sub = 0
+        b.sample_stop = False
+        return b
+
+    def _speculate(self, b: "_Burst") -> None:
+        """Scalar speculation: replay the control loop into ``b.steps``.
+
+        Pure-Python, bit-identical arithmetic to the reference loop —
+        the per-step 31-tuples are the contract every other stage (and
+        the gang engine's vectorized override) builds on.
+        """
+        sim = self.sim
+        exempt = self.exempt
+        scen = self.scen
+        fraction = b.fraction
+        end_t = b.end_t
+        warning = b.warning
+        samples_safe = b.samples_safe
         control_dt_s = sim.control_dt_s
         quantum_ns = self.quantum_ns
         period = sim.sensor.sample_period_s
         tl_dt = sim.timeline_dt_s
         sat_threads = sim.saturation_threads
+        link_gbs = b.link_gbs
+        dram_gbs = b.dram_gbs
+        fu_cap = b.fu_cap
+        es = b.es
         coal = self.coal
         writeback = self.writeback
         dirty = self.dirty
@@ -614,20 +709,18 @@ class MacroEngine:
         sar, scc = st.atomics_ret, st.compute_cycles
         rr, rw, ra = self.rem_reads, self.rem_writes, self.rem_atomics
         mlp, infl = self.mlp, self.inflation
-        tnow = t0
+        tnow = b.t0
         debt = self.thermal_debt_s
         # Replicates the sensor's own `now - last >= period` comparison.
         nsamp = sim.sensor._last_sample_time
         next_tl = self.next_sample
         pkg_acc = self.package_energy_j
-        busy_acc = flow.stats.busy_ns
-        pt_acc = self.phase_time[phase0.name]
-        pt0 = pt_acc
-        cap = self.spec_cap
+        busy_acc = sim.flow.stats.busy_ns
+        pt_acc = b.pt0
+        cap = b.cap
         trace = self.launch_trace
-        pos0 = trace.position
-        entries: list = []   # (first step idx, batch, filtered traffic)
-        steps: list = []
+        entries = b.entries
+        steps = b.steps
         cum_sub = 0
         # Set when the burst's final step is a sample whose warning
         # callback the policy may act on; the commit invokes it for real.
@@ -645,7 +738,7 @@ class MacroEngine:
                     break
                 if scen is not None:
                     nb = scen.transform_batch(nb)
-                ntraffic = sim.cache.filter(nb)
+                ntraffic = self._filter(nb)
                 entries.append((len(steps), nb, ntraffic))
                 sr = float(ntraffic.reads)
                 sw_ = float(ntraffic.writes)
@@ -784,120 +877,135 @@ class MacroEngine:
             if sample_stop:
                 break
 
-        K = len(steps)
-        if K == 0:
-            trace.seek(pos0)
-            return 0
-        cols = list(zip(*steps))
+        b.cum_sub = cum_sub
+        b.sample_stop = sample_stop
 
-        # ---- thermal march + validation ---------------------------------
-        if not exempt:
-            if self._z is not None:
-                z0 = self._z
-                t0_peak = self._z_peak
-            else:
-                t0_peak = sim.thermal.peak_dram_c()
-                z0, _resid = prop.project(sim.thermal.state)
-                if z0 is None:
-                    self._prop_bad = True
-                    trace.seek(pos0)
-                    return 0
-            nsub_arr = np.asarray(cols[11], dtype=np.int64)
-            if cum_sub > 0:
-                coeffs = np.empty((6, cum_sub))
-                coeffs[0] = 1.0
-                coeffs[1] = es
-                coeffs[2] = np.repeat(np.asarray(cols[15]), nsub_arr)
-                coeffs[3] = es * np.repeat(np.asarray(cols[16]), nsub_arr)
-                coeffs[4] = es * np.repeat(np.asarray(cols[17]), nsub_arr)
-                coeffs[5] = amb_forcing
-                Z = prop.march(z0, coeffs)
-                peaks = prop.dram_peaks(Z)
-            else:
-                Z = None
-                peaks = np.empty(0)
-            tidx_arr = np.asarray(cols[12], dtype=np.int64)
-            temps = np.concatenate(([t0_peak], peaks))[tidx_arr + 1]
+    def _march_coeffs(self, b: "_Burst", cols) -> Optional[tuple]:
+        """Thermal-march inputs: ``(z0, t0_peak, coeffs)``.
 
-            lo, hi = self._phase_band(phase0)
-            # Quanta inside the band continue the burst. A quantum
-            # decisively *outside* it may end the burst instead of
-            # failing it: the oracle applies the phase change after the
-            # step's thermal solve, so the crossing step itself runs
-            # entirely under the old phase and only later quanta see the
-            # new capacities. Anything within MARGIN_C of a boundary is
-            # ambiguous and falls back to the exact solver.
-            bad = (temps >= hi - MARGIN_C) & (temps < hi + MARGIN_C)
-            stop = temps >= hi + MARGIN_C
-            if lo is not None:
-                bad |= (temps >= lo - MARGIN_C) & (temps < lo + MARGIN_C)
-                stop |= temps < lo - MARGIN_C
-            sflag_arr = np.asarray(cols[13], dtype=bool)
-            # Sensor hysteresis: a sample decisively across the warn or
-            # clear threshold flips the warning state — again only later
-            # quanta (plus the flip step's own callback, delivered at
-            # commit) observe it, so the flip step can be the burst's
-            # last.
-            if warning:
-                thr = sim.sensor.clear_threshold_c
-                flips = sflag_arr & (temps < thr - MARGIN_C)
-            else:
-                thr = sim.sensor.warn_threshold_c
-                flips = sflag_arr & (temps >= thr + MARGIN_C)
-            bad |= (
-                sflag_arr
-                & (temps >= thr - MARGIN_C)
-                & (temps < thr + MARGIN_C)
-            )
-            stop |= flips
-            viol = np.nonzero(bad)[0]
-            j = int(viol[0]) if viol.size else K
-            flip_stop = False
-            phase_stop: Optional[TemperaturePhase] = None
-            cand = np.nonzero(stop[:j])[0]
-            if cand.size:
-                f = int(cand[0])
-                t_f = float(temps[f])
-                pol = flow.policy
-                new_phase = pol.phase(t_f)
-                # A shutdown crossing needs the scalar step's recovery
-                # branch; and a multi-band jump may land inside another
-                # threshold's margin — guard every decision threshold.
-                decisive = new_phase is not TemperaturePhase.SHUTDOWN
-                if decisive and not pol.conservative_shutdown:
-                    decisive = all(
-                        abs(t_f - t) >= MARGIN_C for t in pol.thresholds_c
-                    )
-                if decisive:
-                    j = f + 1
-                    flip_stop = bool(flips[f])
-                    if new_phase is not phase0:
-                        phase_stop = new_phase
-                else:
-                    j = min(j, f)
+        ``coeffs`` is the (6, cum_sub) power-basis weight matrix of the
+        burst's thermal substeps (``None`` when the burst spans none).
+        Returns ``None`` when the thermal state cannot be represented in
+        the reduced basis — the caller reverts to exact stepping.
+        """
+        sim = self.sim
+        if self._z is not None:
+            z0 = self._z
+            t0_peak = self._z_peak
         else:
-            nsub_arr = None
-            Z = None
-            temps = np.full(K, ambient)
-            j = K
-            flip_stop = False
-            phase_stop = None
+            t0_peak = sim.thermal.peak_dram_c()
+            z0, _resid = self._prop.project(sim.thermal.state)
+            if z0 is None:
+                return None
+        if b.cum_sub == 0:
+            return z0, t0_peak, None
+        es = b.es
+        nsub_arr = np.asarray(cols[11], dtype=np.int64)
+        coeffs = np.empty((6, b.cum_sub))
+        coeffs[0] = 1.0
+        coeffs[1] = es
+        coeffs[2] = np.repeat(np.asarray(cols[15]), nsub_arr)
+        coeffs[3] = es * np.repeat(np.asarray(cols[16]), nsub_arr)
+        coeffs[4] = es * np.repeat(np.asarray(cols[17]), nsub_arr)
+        coeffs[5] = b.amb_forcing
+        return z0, t0_peak, coeffs
 
-        if j < MIN_BURST:
-            trace.seek(pos0)
-            if j < K:
-                # Validation truncation: the trajectory is riding a
-                # threshold — stop re-speculating every scalar step.
-                self.fail_streak += 1
-                self.skip = min(MAX_BACKOFF_STEPS, 2 ** self.fail_streak)
-                self.spec_cap = SPEC_CAP_NEAR
-            return 0
-        self.fail_streak = 0
+    def _temps_of(self, b: "_Burst", cols, peaks, t0_peak) -> np.ndarray:
+        """Per-step decision temperatures from the marched peaks.
 
-        # ---- commit the validated prefix --------------------------------
+        A step with no thermal substep sees the temperature left by the
+        last substep before it (or the burst-entry peak).
+        """
+        tidx_arr = np.asarray(cols[12], dtype=np.int64)
+        return np.concatenate(([t0_peak], peaks))[tidx_arr + 1]
+
+    def _validate(self, b: "_Burst", temps) -> tuple:
+        """Longest provable prefix: ``(j, flip_stop, phase_stop)``.
+
+        ``j`` is the committed length; ``flip_stop`` marks a decisive
+        sensor-hysteresis flip on the final step, ``phase_stop`` a
+        decisive temperature-phase crossing (the new phase).
+        """
+        sim = self.sim
+        flow = sim.flow
+        K = len(b.steps)
+        warning = b.warning
+        lo, hi = self._phase_band(b.phase0)
+        # Quanta inside the band continue the burst. A quantum
+        # decisively *outside* it may end the burst instead of
+        # failing it: the oracle applies the phase change after the
+        # step's thermal solve, so the crossing step itself runs
+        # entirely under the old phase and only later quanta see the
+        # new capacities. Anything within MARGIN_C of a boundary is
+        # ambiguous and falls back to the exact solver.
+        bad = (temps >= hi - MARGIN_C) & (temps < hi + MARGIN_C)
+        stop = temps >= hi + MARGIN_C
+        if lo is not None:
+            bad |= (temps >= lo - MARGIN_C) & (temps < lo + MARGIN_C)
+            stop |= temps < lo - MARGIN_C
+        sflag_arr = np.fromiter(
+            (s[13] for s in b.steps), dtype=bool, count=K
+        )
+        # Sensor hysteresis: a sample decisively across the warn or
+        # clear threshold flips the warning state — again only later
+        # quanta (plus the flip step's own callback, delivered at
+        # commit) observe it, so the flip step can be the burst's
+        # last.
+        if warning:
+            thr = sim.sensor.clear_threshold_c
+            flips = sflag_arr & (temps < thr - MARGIN_C)
+        else:
+            thr = sim.sensor.warn_threshold_c
+            flips = sflag_arr & (temps >= thr + MARGIN_C)
+        bad |= (
+            sflag_arr
+            & (temps >= thr - MARGIN_C)
+            & (temps < thr + MARGIN_C)
+        )
+        stop |= flips
+        viol = np.nonzero(bad)[0]
+        j = int(viol[0]) if viol.size else K
+        flip_stop = False
+        phase_stop: Optional[TemperaturePhase] = None
+        cand = np.nonzero(stop[:j])[0]
+        if cand.size:
+            f = int(cand[0])
+            t_f = float(temps[f])
+            pol = flow.policy
+            new_phase = pol.phase(t_f)
+            # A shutdown crossing needs the scalar step's recovery
+            # branch; and a multi-band jump may land inside another
+            # threshold's margin — guard every decision threshold.
+            decisive = new_phase is not TemperaturePhase.SHUTDOWN
+            if decisive and not pol.conservative_shutdown:
+                decisive = all(
+                    abs(t_f - t) >= MARGIN_C for t in pol.thresholds_c
+                )
+            if decisive:
+                j = f + 1
+                flip_stop = bool(flips[f])
+                if new_phase is not b.phase0:
+                    phase_stop = new_phase
+            else:
+                j = min(j, f)
+        return j, flip_stop, phase_stop
+
+    def _commit(
+        self, b: "_Burst", cols, j: int, flip_stop: bool,
+        phase_stop, Z, peaks, temps,
+    ) -> int:
+        """Apply the validated prefix of ``j`` quanta; returns ``j``."""
+        sim = self.sim
+        flow = sim.flow
+        exempt = self.exempt
+        policy = self.policy
+        warning = b.warning
+        fraction = b.fraction
+        steps = b.steps
+        K = len(steps)
         full = j == K
         if not exempt:
-            committed_sub = int(nsub_arr[:j].sum())
+            committed_sub = sum(cols[11][:j])
             if committed_sub > 0:
                 # Keep the state in reduced coordinates; it is
                 # materialized lazily before the next exact solver use.
@@ -908,9 +1016,9 @@ class MacroEngine:
 
         end_now = cols[2][j - 1]
         committed_entries = [
-            e for e in entries if e[0] < j or (full and e[0] <= j)
+            e for e in b.entries if e[0] < j or (full and e[0] <= j)
         ]
-        trace.seek(pos0 + len(committed_entries))
+        self.launch_trace.seek(b.pos0 + len(committed_entries))
         for idx, nb, ntraffic in committed_entries:
             t_at = cols[1][idx] if idx < j else end_now
             self._close_epoch(t_at)
@@ -938,9 +1046,11 @@ class MacroEngine:
         if phase_stop is not None:
             # The crossing step's dt accrues to the *new* phase (the
             # oracle bills phase time after updating the phase).
-            self.phase_time[phase0.name] = cols[20][j - 2] if j > 1 else pt0
+            self.phase_time[b.phase0.name] = (
+                cols[20][j - 2] if j > 1 else b.pt0
+            )
         else:
-            self.phase_time[phase0.name] = cols[20][j - 1]
+            self.phase_time[b.phase0.name] = cols[20][j - 1]
         self.thermal_debt_s = cols[21][j - 1]
         self.next_sample = cols[22][j - 1]
 
@@ -963,7 +1073,7 @@ class MacroEngine:
         self.peak_temp = max(self.peak_temp, float(temps[:j].max()))
         self.last_temp_c = float(temps[j - 1])
         if fraction != self.frac_tw.value:
-            self.frac_tw.update(fraction, t0)
+            self.frac_tw.update(fraction, b.t0)
         self.dt_hist.add_many(np.asarray(cols[0][:j]))
 
         fs = flow.stats
@@ -1003,7 +1113,7 @@ class MacroEngine:
                 # observe above updated the sensor), exactly as the scalar
                 # loop would at that step.
                 policy.on_thermal_warning(steps[j - 1][1], sensor.last_temp_c)
-        elif sample_stop and full:
+        elif b.sample_stop and full:
             # The burst ended on a sample whose callback may act: deliver
             # it now, after the observe above updated the sensor, exactly
             # as the scalar loop would at that step.
@@ -1015,16 +1125,105 @@ class MacroEngine:
         self.burst_hist.add(float(j))
         if traced:
             self.tracer.complete(
-                "sim.macro_burst", wall_b0, _time.perf_counter(), cat="sim",
-                steps=j, speculated=K, thermal_substeps=committed_sub,
-                sim_start_s=t0, sim_end_s=end_now,
+                "sim.macro_burst", b.wall_b0, _time.perf_counter(),
+                cat="sim", steps=j, speculated=K,
+                thermal_substeps=committed_sub,
+                sim_start_s=b.t0, sim_end_s=end_now,
             )
 
-        if full and K == cap:
-            self.spec_cap = min(cap * 4, SPEC_CAP_MAX)
+        if full and K == b.cap:
+            self.spec_cap = min(b.cap * 4, SPEC_CAP_MAX)
         elif not full:
-            # Truncated by validation: the trajectory is near a threshold.
-            # Track ~2× the committed length so the next attempt's wasted
-            # speculation stays proportional to what it commits.
-            self.spec_cap = max(SPEC_CAP_NEAR, min(SPEC_CAP_MIN, 2 * j))
+            if flip_stop or phase_stop is not None:
+                # Decisive boundary stop: a successful commit up to a real
+                # event, not a misprediction. Reuse the window across the
+                # boundary, sized to ~2× what this burst committed, instead
+                # of collapsing to SPEC_CAP_NEAR and re-growing 4×-per-burst
+                # from scratch (the regrowth stalls a policy that keeps
+                # crossing thresholds — HW-DynT's warning churn).
+                self.spec_cap = max(SPEC_CAP_NEAR, min(b.cap, 2 * j))
+            else:
+                # Truncated by validation: the trajectory is riding a
+                # threshold ambiguously — keep the next attempt's wasted
+                # speculation proportional to what it commits.
+                self.spec_cap = max(SPEC_CAP_NEAR, min(SPEC_CAP_MIN, 2 * j))
         return j
+
+    def _burst_prepare(self) -> Optional[tuple]:
+        """Begin + speculate + assemble march inputs; ``None`` → no burst.
+
+        Returns ``(b, cols, z0, t0_peak, coeffs)`` ready for the thermal
+        march. The gang engine collects these across lanes and batches
+        the march; the solo path marches immediately.
+        """
+        b = self._spec_begin()
+        if b is None:
+            return None
+        self._speculate(b)
+        if not b.steps:
+            self.launch_trace.seek(b.pos0)
+            return None
+        cols = list(zip(*b.steps))
+        if self.exempt:
+            return b, cols, None, None, None
+        mc = self._march_coeffs(b, cols)
+        if mc is None:
+            self._prop_bad = True
+            self.launch_trace.seek(b.pos0)
+            return None
+        z0, t0_peak, coeffs = mc
+        return b, cols, z0, t0_peak, coeffs
+
+    def _burst_finish(self, pending: tuple, Z, peaks) -> int:
+        """Validate the marched burst and commit its provable prefix."""
+        b, cols, _z0, t0_peak, _coeffs = pending
+        K = len(b.steps)
+        if not self.exempt:
+            temps = self._temps_of(b, cols, peaks, t0_peak)
+            j, flip_stop, phase_stop = self._validate(b, temps)
+        else:
+            temps = np.full(K, self.sim.thermal.ambient_c)
+            j = K
+            flip_stop = False
+            phase_stop = None
+
+        if j < MIN_BURST:
+            self.launch_trace.seek(b.pos0)
+            if j < K:
+                # Validation truncation: the trajectory is riding a
+                # threshold — stop re-speculating every scalar step.
+                self.fail_streak += 1
+                self.skip = min(MAX_BACKOFF_STEPS, 2 ** self.fail_streak)
+                self.spec_cap = SPEC_CAP_NEAR
+            return 0
+        self.fail_streak = 0
+        return self._commit(
+            b, cols, j, flip_stop, phase_stop, Z, peaks, temps
+        )
+
+    def _march(self, pending: tuple):
+        """Solo thermal march for one prepared burst: ``(Z, peaks)``."""
+        _b, _cols, z0, _t0_peak, coeffs = pending
+        if coeffs is None:
+            return None, np.empty(0)
+        Z = self._prop.march(z0, coeffs)
+        return Z, self._reader.peaks(Z)
+
+    def _try_burst(self) -> int:
+        """Speculate/validate/commit one burst; returns committed quanta."""
+        pending = self._burst_prepare()
+        if pending is None:
+            return 0
+        Z, peaks = self._march(pending)
+        return self._burst_finish(pending, Z, peaks)
+
+
+class _Burst:
+    """One burst's stage-to-stage carrier (see the burst path above)."""
+
+    __slots__ = (
+        "t0", "fraction", "end_t", "warning", "samples_safe", "phase0",
+        "es", "amb_forcing", "link_gbs", "dram_gbs", "fu_cap", "cap",
+        "pos0", "pt0", "wall_b0", "steps", "entries", "cum_sub",
+        "sample_stop",
+    )

@@ -46,6 +46,7 @@ _HANDLER_REGISTRY: Dict[str, JobHandler] = {}
 _BUILTIN_KINDS: Dict[str, str] = {
     "experiment": "repro.service.handlers:run_experiment_job",
     "simulation": "repro.service.handlers:run_simulation_job",
+    "gang_sweep": "repro.service.handlers:run_gang_sweep_job",
 }
 
 

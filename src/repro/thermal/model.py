@@ -99,6 +99,19 @@ class HmcThermalModel:
         and SerDes switching do not.
         """
         if not hasattr(self, "_basis_cache"):
+            # The basis is a pure function of the power-model constants
+            # and the shared floorplan/network, so instances over the
+            # same operators (gang lanes, sweep systems) reuse one
+            # assembly instead of re-running the per-vault map walks.
+            if self._shared_ops is not None:
+                shared = getattr(self._shared_ops, "_basis_cache", None)
+                if shared is None:
+                    shared = self._shared_ops._basis_cache = {}
+                key = self._power_fingerprint()
+                hit = shared.get(key)
+                if hit is not None:
+                    self._basis_cache = hit
+                    return hit
             from dataclasses import replace as _replace
 
             def vec(pm: PowerModel, t: TrafficPoint) -> np.ndarray:
@@ -121,6 +134,8 @@ class HmcThermalModel:
             v_int = vec(pm, TrafficPoint(internal_dram_gbs=1.0)) - p0
             v_pim = vec(pm, TrafficPoint(pim_rate_ops_ns=1.0)) - p0
             self._basis_cache = (p0_logic, p0_dram, v_ext, v_int, v_pim)
+            if self._shared_ops is not None:
+                shared[key] = self._basis_cache
         return self._basis_cache
 
     def _power_vector(

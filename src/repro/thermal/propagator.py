@@ -57,8 +57,14 @@ def first_crossing(series: np.ndarray, threshold: float) -> Optional[int]:
     which a phase boundary (85/95/105 °C) or sensor threshold is reached,
     or ``None`` if the trajectory stays below it throughout.
     """
-    hits = np.nonzero(series >= threshold)[0]
-    return int(hits[0]) if hits.size else None
+    mask = series >= threshold
+    if not mask.size:
+        return None
+    # ``argmax`` on a boolean array short-circuits at the first True,
+    # unlike ``nonzero`` which scans the whole series and materializes
+    # every index after the crossing.
+    hit = int(mask.argmax())
+    return hit if mask[hit] else None
 
 
 class ReducedPropagator:
@@ -178,6 +184,11 @@ class ReducedPropagator:
         self._proj_in = self._WV.T @ self._forcing       # (r, n_inputs)
         out = self._WV[self._dram_index] / self._sd[self._dram_index, None]
         self._out = np.ascontiguousarray(out)            # (n_dram, r)
+        #: Per-mode readout column norms — the Lipschitz constants bounding
+        #: how much a unit of eigen-coordinate ``m`` can move any DRAM
+        #: node's temperature. :class:`PeakReader` certifies its mode
+        #: truncation against these.
+        self._out_colnorms = np.linalg.norm(self._out, axis=0)
 
     def _extend(self, residual_x: np.ndarray) -> None:
         """Self-heal: absorb an out-of-span state into the basis."""
@@ -254,10 +265,253 @@ class ReducedPropagator:
         Z = self.march(z0, coeffs)
         return self.reconstruct(Z[:, -1]), self.dram_peaks(Z)
 
+    def march_many(
+        self, z0s: List[np.ndarray], coeffs_list: List[np.ndarray]
+    ) -> List[np.ndarray]:
+        """Advance several independent trajectories in one lockstep loop.
+
+        Batched counterpart of :meth:`march` for a gang of lanes sharing
+        this basis: lane ``l`` starts at ``z0s[l]`` and marches
+        ``coeffs_list[l].shape[1]`` quanta. The diagonal recurrence runs
+        once over an ``(L, r)`` state matrix instead of once per lane, so
+        the Python-level step loop is paid a single time for the longest
+        lane. Elementwise multiply/add are shape-independent bitwise, and
+        the forcing GEMM ``proj_in @ coeffs`` is issued per lane with the
+        same operand shapes as :meth:`march`, so every returned trajectory
+        is bit-identical to a solo march of that lane.
+        """
+        L = len(z0s)
+        if L == 0:
+            return []
+        lengths = [c.shape[1] for c in coeffs_list]
+        k_max = max(lengths)
+        lam = self._lam
+        r = lam.size
+        # Per-lane forcing, same GEMM shape as the solo march (a fused
+        # wide GEMM would not be bitwise equal column-block by block).
+        # Step-major layout keeps each quantum's (L, r) slice contiguous
+        # for the recurrence; lanes shorter than ``k_max`` coast on zero
+        # forcing past their end (their surplus columns are discarded).
+        # Callers batching lanes of very different lengths should group
+        # them by magnitude — the loop is paid to the longest lane.
+        H = np.zeros((k_max, L, r))
+        for l, coeffs in enumerate(coeffs_list):
+            if coeffs.shape[1]:
+                H[: coeffs.shape[1], l, :] = (self._proj_in @ coeffs).T
+        Z_all = np.empty((k_max, L, r))
+        z = np.array(z0s)
+        for k in range(k_max):
+            z = lam * z + H[k]
+            Z_all[k] = z
+        return [np.ascontiguousarray(Z_all[:n, l, :].T) for l, n in
+                enumerate(lengths)]
+
     def dram_peaks(self, Z: np.ndarray) -> np.ndarray:
-        """Per-step peak DRAM temperature (°C) of a marched trajectory."""
+        """Per-step peak DRAM temperature (°C) of a marched trajectory.
+
+        The plain full readout. Hot-path callers that issue many readouts
+        per run (the macro and gang engines) should hold a
+        :class:`PeakReader` instead — same values for the same call
+        sequence, at a fraction of the flops.
+        """
         return (self._out @ Z).max(axis=0)
+
+    def dram_peaks_many(
+        self,
+        Zs: List[np.ndarray],
+        readers: Optional[List["PeakReader"]] = None,
+    ) -> List[np.ndarray]:
+        """Peak readout for a gang of trajectories.
+
+        A per-lane loop on purpose: fusing lanes into one wide GEMM would
+        change the BLAS kernel's reduction blocking, and a column-block of
+        a wider GEMM is not bitwise equal to the narrow GEMM a solo run
+        performs — which would break the gang's bit-equality contract.
+        With ``readers`` (one per lane, in lane order) each lane's
+        certified low-rank reader is used, matching what a solo macro run
+        of that lane computes call-for-call.
+        """
+        if readers is None:
+            return [self.dram_peaks(Z) for Z in Zs]
+        return [rd.peaks(Z) for rd, Z in zip(readers, Zs)]
+
+    def peak_reader(self) -> "PeakReader":
+        """A fresh per-run certified peak readout over this basis."""
+        return PeakReader(self)
 
     def dram_peak_of(self, z: np.ndarray) -> float:
         """Peak DRAM temperature of a single eigen-coordinate state."""
         return float((self._out @ z).max())
+
+
+
+
+class PeakReader:
+    """Per-run certified truncated-mode peak readout over a shared basis.
+
+    The macro engine's dominant GEMM is the per-burst peak readout
+    ``(out @ Z).max(axis=0)`` — ``(n_dram, r) @ (r, K)`` with
+    ``n_dram ≈ 1024`` rows of which only the hottest plateau of nodes can
+    ever win the max, and ``r ≈ 192`` eigenmodes of which only a few
+    dozen carry any readout weight along a real trajectory. The reader
+    exploits both axes, with every shortcut *certified* so the returned
+    floats are exact row readouts, never approximations:
+
+    - **Mode truncation.** ``Z`` is already in the eigenbasis, so the
+      readout splits by mode: ``T_i(k) = out[i, S]·Z[S, k] + e_ik`` with
+      ``|e_ik| ≤ Σ_{m∉S} ‖out[:, m]‖·|Z[m, k]|`` — a cheap abs-GEMV
+      against precomputed column norms. The kept set ``S`` grows
+      deterministically whenever the tail bound exceeds the budget.
+    - **Row dominance.** Over a bounding box of the truncated
+      coordinates seen so far, each row's deficit against a reference
+      hot row is bounded above by interval arithmetic
+      (``D·mid + |D|·halfwidth``). Rows that cannot close the deficit
+      anywhere in the box are excluded once, not re-tested per call; a
+      call whose coordinates stay inside the box pays only the subset
+      readout. Box misses re-center and re-pad the box — warm-started
+      runs typically rebuild once.
+    - The surviving candidate rows are read out **exactly** (full-rank
+      subset GEMM) and their max returned.
+
+    The candidate max equals the full-readout max *as a real number* —
+    the bounds are exact — but a row-subset GEMM is not bitwise equal to
+    the same rows of a full GEMM, and the mode-set/box state depends on
+    the run's burst history. Both are why the reader is per-run and
+    shared by engines: a gang lane replaying a macro run's burst sequence
+    through its own reader sees the identical mode sets, boxes, candidate
+    sets, and output floats, call for call. Selection error is covered by
+    the certified bounds plus ``SLACK_C`` of float headroom, far below
+    the 1e-6 °C decision margins.
+    """
+
+    #: Certification budget (°C): worst-case readout error of the
+    #: truncated-mode approximation before candidate slack is applied.
+    #: Loose on purpose — it widens the candidate set, never the result:
+    #: rows within the budget of the apex are read out exactly anyway.
+    TOL_C = 2e-3
+    #: Float headroom (°C) on the exclusion threshold, absorbing rounding
+    #: of the interval-arithmetic deficit bounds themselves.
+    SLACK_C = 1e-6
+    #: Modes kept initially and added per tail-bound miss.
+    MODES_INIT = 32
+    MODES_GROW = 16
+    #: Mode-set ceiling; beyond it the reader falls back to full
+    #: readouts for the rest of the run.
+    MAX_MODES = 128
+    #: Box padding: span-relative, magnitude-relative, and absolute —
+    #: sized so a warm-started run's drift stays inside one box.
+    PAD_SPAN = 0.5
+    PAD_REL = 0.1
+    PAD_ABS = 0.2
+
+    def __init__(self, prop: ReducedPropagator) -> None:
+        self._prop = prop
+        self._S: Optional[np.ndarray] = None      # kept modes, sorted
+        self._rest: Optional[np.ndarray] = None   # dropped modes
+        self._w_rest: Optional[np.ndarray] = None  # their column norms
+        self._BS: Optional[np.ndarray] = None     # out[:, S], contiguous
+        self._lo: Optional[np.ndarray] = None     # coordinate box, (q,)
+        self._hi: Optional[np.ndarray] = None
+        self._cand: Optional[np.ndarray] = None   # surviving row indices
+        self._Osub: Optional[np.ndarray] = None   # out[cand], contiguous
+        self.dead = False
+        self.full_readouts = 0
+        self.pruned_readouts = 0
+        self.rebuilds = 0
+
+    def _set_modes(self, S: np.ndarray) -> None:
+        prop = self._prop
+        self._S = np.sort(S)
+        self._rest = np.setdiff1d(
+            np.arange(prop.rank, dtype=np.intp), self._S
+        )
+        self._w_rest = np.ascontiguousarray(prop._out_colnorms[self._rest])
+        self._BS = np.ascontiguousarray(prop._out[:, self._S])
+        # New coordinates invalidate the box and the dominance bounds.
+        self._lo = None
+        self._hi = None
+        self._cand = None
+        if self._S.size > self.MAX_MODES:
+            self.dead = True
+
+    def _grow_modes(self, Z: np.ndarray, room: int) -> None:
+        """Deterministically absorb the strongest dropped modes."""
+        contrib = self._prop._out_colnorms * np.abs(Z).max(axis=1)
+        if self._S is not None:
+            contrib[self._S] = -1.0
+        take = np.argsort(contrib, kind="stable")[-room:]
+        S = take if self._S is None else np.concatenate([self._S, take])
+        self._set_modes(S)
+
+    def _rebuild_box(self, cmin: np.ndarray, cmax: np.ndarray) -> None:
+        """Re-center the box on the current call and re-derive candidates.
+
+        For each row the deficit against a reference hot row is bounded
+        above over the whole box by interval arithmetic: with
+        ``D = BS − BS[jref]``, ``max_c D·c = D·mid + |D|·halfwidth``.
+        Any row whose bound sits below ``−(2·TOL_C + SLACK_C)`` cannot
+        reach the apex anywhere in the box (both rows carry ≤ TOL_C of
+        truncation error) and is excluded until the box or mode set
+        changes.
+        """
+        pad = (
+            self.PAD_SPAN * (cmax - cmin)
+            + self.PAD_REL * np.abs(0.5 * (cmin + cmax))
+            + self.PAD_ABS
+        )
+        self._lo = cmin - pad
+        self._hi = cmax + pad
+        mid = 0.5 * (self._lo + self._hi)
+        half = 0.5 * (self._hi - self._lo)
+        BS = self._BS
+        jref = int((BS @ mid).argmax())
+        D = BS - BS[jref]
+        ub = D @ mid + np.abs(D) @ half
+        cand = np.nonzero(ub > -(2.0 * self.TOL_C + self.SLACK_C))[0]
+        n = BS.shape[0]
+        if cand.size * 2 > n:
+            # Near-degenerate regime (e.g. a cold uniform state): the
+            # subset would not pay for itself — serve this box with full
+            # readouts instead of materializing most of ``out``.
+            self._cand = None
+            self._Osub = None
+        else:
+            self._cand = cand
+            self._Osub = np.ascontiguousarray(self._prop._out[cand])
+        self.rebuilds += 1
+
+    def peaks(self, Z: np.ndarray) -> np.ndarray:
+        """Per-step peak DRAM °C; same values as the run's full readouts.
+
+        Deterministic given the sequence of trajectories this reader has
+        served — the contract the gang engine's bit-equality rests on.
+        """
+        prop = self._prop
+        out = prop._out
+        if self.dead or Z.shape[1] == 0 or out.shape[0] <= 8:
+            self.full_readouts += 1
+            return (out @ Z).max(axis=0)
+        for attempt in range(2):
+            if self._S is None:
+                self._grow_modes(Z, self.MODES_INIT)
+            tail = self._w_rest @ np.abs(Z[self._rest])
+            if float(tail.max(initial=0.0)) > self.TOL_C:
+                if attempt == 0 and not self.dead:
+                    self._grow_modes(Z, self.MODES_GROW)
+                    continue
+                break
+            C = Z[self._S]
+            cmin = C.min(axis=1)
+            cmax = C.max(axis=1)
+            if (
+                self._lo is None
+                or (cmin < self._lo).any()
+                or (cmax > self._hi).any()
+            ):
+                self._rebuild_box(cmin, cmax)
+            if self._Osub is None:
+                break
+            self.pruned_readouts += 1
+            return (self._Osub @ Z).max(axis=0)
+        self.full_readouts += 1
+        return (out @ Z).max(axis=0)

@@ -1,0 +1,111 @@
+"""Gang-sweep job kind: handler payload shape and member cache fan-out.
+
+The service contract (ISSUE 10 tentpole): a ``gang_sweep`` job runs one
+workload's policy configurations as a lockstep gang on one worker, and
+its member results land in the :class:`ResultStore` under exactly the
+``simulation`` keys a per-run sweep would have written — so the gang is
+invisible to everything downstream of the store (cache hits,
+single-flight, leaderboard).
+"""
+
+import pytest
+
+from repro.service import (
+    JobScheduler,
+    ResultStore,
+    gang_sweep_spec,
+    resolve_handler,
+    run_gang_sweep_job,
+    simulation_spec,
+)
+
+POLICIES = ["non-offloading", "coolpim-hw"]
+
+
+def make_spec(**kw):
+    kw.setdefault("workload", "pagerank")
+    kw.setdefault("policies", POLICIES)
+    kw.setdefault("dataset", "ldbc-tiny")
+    kw.setdefault("workload_scale", 0.25)
+    return gang_sweep_spec(**kw)
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return run_gang_sweep_job(make_spec())
+
+
+class TestSpec:
+    def test_kind_resolves_to_builtin_handler(self):
+        assert resolve_handler("gang_sweep") is run_gang_sweep_job
+
+    def test_key_depends_on_member_list(self):
+        a = make_spec()
+        b = make_spec(policies=POLICIES + ["coolpim-sw"])
+        assert a.key != b.key
+        assert a.key == make_spec().key
+
+    def test_scale_keeps_default_key_rule(self):
+        # Like simulation specs: workload_scale enters the key only when
+        # it differs from 1.0.
+        full = gang_sweep_spec("pagerank", POLICIES)
+        assert "workload_scale" not in full.params
+
+
+class TestHandler:
+    def test_payload_carries_one_member_per_policy(self, payload):
+        assert payload["engine"] == "gang"
+        assert payload["policies"] == POLICIES
+        assert [m["payload"]["policy"] for m in payload["members"]] == POLICIES
+
+    def test_member_specs_are_per_run_simulation_identities(self, payload):
+        for policy, member in zip(POLICIES, payload["members"]):
+            expect = simulation_spec(
+                "pagerank", dataset="ldbc-tiny", policy=policy,
+                workload_scale=0.25, engine="gang",
+            )
+            got = member["spec"]
+            assert got["kind"] == "simulation"
+            assert got["params"] == expect.params
+            # Identity equals the macro per-run spec: engine is
+            # cache-key-stable across the bit-equal family.
+            macro = simulation_spec(
+                "pagerank", dataset="ldbc-tiny", policy=policy,
+                workload_scale=0.25, engine="macro",
+            )
+            assert expect.key == macro.key
+
+    def test_member_payload_matches_per_run_shape(self, payload):
+        member = payload["members"][0]["payload"]
+        for key in ("workload", "dataset", "policy", "cooling", "seed",
+                    "result", "metrics"):
+            assert key in member
+        assert member["result"]["runtime_s"] > 0
+
+
+class TestSchedulerFanout:
+    def test_members_become_per_run_cache_hits(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = make_spec()
+        report = JobScheduler(store=store, serial=True).run([spec])
+        assert not report.failures and report.executed == 1
+
+        per_run = [
+            simulation_spec("pagerank", dataset="ldbc-tiny", policy=p,
+                            workload_scale=0.25)
+            for p in POLICIES
+        ]
+        rerun = JobScheduler(store=store, serial=True).run(per_run)
+        assert not rerun.failures
+        assert rerun.cache_hits == len(POLICIES)
+        assert rerun.executed == 0
+        for spec_, policy in zip(per_run, POLICIES):
+            assert rerun.results[spec_.key].payload["policy"] == policy
+
+    def test_gang_job_itself_is_cacheable(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = make_spec()
+        first = JobScheduler(store=store, serial=True).run([spec])
+        assert first.executed == 1
+        second = JobScheduler(store=store, serial=True).run([spec])
+        assert second.cache_hits == 1 and second.executed == 0
